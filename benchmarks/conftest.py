@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment sweep exactly once through
+``benchmark.pedantic`` (the sweeps already repeat and take medians
+internally), prints the paper-shaped table, and asserts the paper's
+qualitative findings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``function`` once under pytest-benchmark and return its result."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,43 @@
+"""Extension bench: the adaptive optimization policy (paper conclusion 4).
+
+The paper: "it is possible to tune the D/KB query optimizer to adapt the
+optimization strategy dynamically, switching it on for queries with low
+selectivity and off for others."  This bench sweeps selectivity and checks
+that the ``optimize="auto"`` policy tracks the lower envelope of the two
+static plans:
+
+* at the lowest selectivity, auto uses magic and lands near the magic time;
+* at the highest selectivity, auto declines magic and lands near the plain
+  time;
+* over the sweep, auto's total stays close to the per-point best.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_adaptive, run_adaptive_policy
+
+DEPTH = 9
+
+
+def test_adaptive_policy_tracks_envelope(run_once):
+    points = run_once(run_adaptive_policy, DEPTH, 3)
+    print()
+    print(format_adaptive(points))
+
+    by_selectivity = sorted(points, key=lambda p: p.selectivity)
+    lowest, highest = by_selectivity[0], by_selectivity[-1]
+
+    # The policy flips exactly where the paper says it should.
+    assert lowest.auto_used_magic
+    assert not highest.auto_used_magic
+
+    # Auto is never catastrophically off the per-point envelope (the probe
+    # itself costs a bounded amount).
+    for point in points:
+        assert point.auto_seconds < 3 * point.envelope_seconds + 0.005, point
+
+    # And over the whole sweep auto beats both static policies.
+    total_plain = sum(p.plain_seconds for p in points)
+    total_magic = sum(p.magic_seconds for p in points)
+    total_auto = sum(p.auto_seconds for p in points)
+    assert total_auto < 1.2 * min(total_plain, total_magic)

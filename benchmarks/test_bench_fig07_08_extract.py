@@ -1,0 +1,61 @@
+"""Test 1 (Figures 7 and 8): relevant-rule extraction time.
+
+Paper findings reproduced here:
+
+* ``t_extract`` is *insensitive* to the total number of stored rules ``R_s``
+  (the compiled ``reachablepreds`` form plus indexes make extraction cost a
+  function of what is extracted, not of what is stored);
+* ``t_extract`` *increases* with the number of relevant rules ``R_rs``;
+* extraction is a single SQL statement regardless of the rule-base size.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.bench import (
+    format_fig7,
+    format_fig8,
+    run_extract_experiment,
+)
+
+TOTAL_RULES = (60, 120, 240, 480)
+RELEVANT_RULES = (1, 7, 20)
+
+
+def test_fig07_08_extract_time(run_once):
+    points = run_once(
+        run_extract_experiment, TOTAL_RULES, RELEVANT_RULES, 7
+    )
+    print()
+    print(format_fig7(points))
+    print()
+    print(format_fig8(points))
+
+    # Single-statement extraction, independent of R_s (exact, logical).
+    assert all(p.statements == 1 for p in points)
+    # Exactly the relevant rules come back, never more.
+    assert all(p.rules_extracted == p.relevant_rules for p in points)
+
+    # Insensitive to R_s: within each R_rs curve the spread over an 8x range
+    # of R_s stays within a loose noise bound.
+    for relevant in RELEVANT_RULES:
+        curve = [p.seconds for p in points if p.relevant_rules == relevant]
+        assert max(curve) < 5 * min(curve), (
+            f"t_extract should be flat in R_s for R_rs={relevant}: {curve}"
+        )
+
+    # Grows with R_rs: at each fixed R_s the R_rs=20 curve sits clearly
+    # above the R_rs=1 curve.
+    for total in TOTAL_RULES:
+        small = median(
+            p.seconds
+            for p in points
+            if p.total_rules == total and p.relevant_rules == 1
+        )
+        large = median(
+            p.seconds
+            for p in points
+            if p.total_rules == total and p.relevant_rules == 20
+        )
+        assert large > 1.5 * small, (total, small, large)

@@ -1,0 +1,56 @@
+"""Test 2 (Figures 9 and 10): data-dictionary read time.
+
+Paper findings reproduced here:
+
+* ``t_readdict`` is insensitive to the total number of stored derived
+  predicates ``P_s`` (the dictionary relations are indexed);
+* ``t_readdict`` increases with the number of relevant predicates ``P_rs``
+  (the join selectivity of the dictionary query).
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.bench import (
+    format_fig9,
+    format_fig10,
+    run_dictionary_experiment,
+)
+
+TOTAL_PREDICATES = (50, 100, 200, 400)
+RELEVANT_PREDICATES = (1, 4, 10)
+
+
+def test_fig09_10_dictionary_read_time(run_once):
+    points = run_once(
+        run_dictionary_experiment, TOTAL_PREDICATES, RELEVANT_PREDICATES, 7
+    )
+    print()
+    print(format_fig9(points))
+    print()
+    print(format_fig10(points))
+
+    # One dictionary query regardless of catalog size.
+    assert all(p.statements == 1 for p in points)
+
+    # Insensitive to P_s within each P_rs curve.
+    for relevant in RELEVANT_PREDICATES:
+        curve = [
+            p.seconds for p in points if p.relevant_predicates == relevant
+        ]
+        assert max(curve) < 5 * min(curve), (relevant, curve)
+
+    # Grows with P_rs at each fixed P_s.
+    for total in TOTAL_PREDICATES:
+        small = median(
+            p.seconds
+            for p in points
+            if p.total_predicates == total and p.relevant_predicates == 1
+        )
+        large = median(
+            p.seconds
+            for p in points
+            if p.total_predicates == total and p.relevant_predicates == 10
+        )
+        assert large > 1.5 * small, (total, small, large)

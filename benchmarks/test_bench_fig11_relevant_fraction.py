@@ -1,0 +1,44 @@
+"""Test 4 (Figure 11): execution time vs the relevant-fact fraction D_rel/D.
+
+Paper findings reproduced here (semi-naive, no optimization):
+
+* with the relation fixed (D constant), ``t_e`` is insensitive to ``D_rel``
+  — without magic sets the whole transitive closure is computed no matter
+  how little of it the query needs;
+* with the query subtree fixed (D_rel constant) and the relation growing,
+  ``t_e`` increases with ``D``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_fig11, run_relevant_fraction_experiment
+
+DEPTH = 9
+GROWING_DEPTHS = (6, 7, 8, 9)
+
+
+def test_fig11_relevant_fraction(run_once):
+    fixed_d, fixed_rel = run_once(
+        run_relevant_fraction_experiment, DEPTH, GROWING_DEPTHS, 5, 3
+    )
+    print()
+    print(format_fig11(fixed_d, fixed_rel))
+
+    # Series (a): D fixed — flat within a loose noise bound despite D_rel
+    # spanning two orders of magnitude.
+    seconds = [p.seconds for p in fixed_d]
+    assert max(seconds) < 3 * min(seconds), seconds
+    selectivities = [p.selectivity for p in fixed_d]
+    assert max(selectivities) / min(selectivities) > 50
+
+    # Series (b): D_rel fixed — time grows as the relation grows.
+    assert all(
+        p.relevant_facts == fixed_rel[0].relevant_facts for p in fixed_rel
+    )
+    assert fixed_rel[-1].total_facts > 4 * fixed_rel[0].total_facts
+    assert fixed_rel[-1].seconds > 1.5 * fixed_rel[0].seconds, [
+        (p.total_facts, p.seconds) for p in fixed_rel
+    ]
+
+    # Both series answer correctly sized results.
+    assert all(p.answers == p.relevant_facts for p in fixed_d)

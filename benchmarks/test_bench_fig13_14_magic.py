@@ -1,0 +1,97 @@
+"""Test 7 (Figures 13 and 14): the magic-sets selectivity crossover.
+
+Paper findings reproduced here:
+
+* without optimization ``t_e`` is insensitive to query selectivity (the
+  whole closure is computed regardless); with magic sets it grows with
+  selectivity;
+* there is a crossover selectivity beyond which optimization *costs* time —
+  at high selectivity in both strategies, and no lower for naive than for
+  semi-naive (the paper reports ~85% naive vs ~72% semi-naive: optimization
+  keeps paying longer where more redundant work is saved);
+* at very low selectivity against a large relation, optimization wins by
+  orders of magnitude;
+* Figure 14: of the two LFP computations of the optimized plan, the
+  modified-rules evaluation is the selectivity-sensitive one.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    find_crossover,
+    format_fig13,
+    format_fig14,
+    run_low_selectivity_blowup,
+    run_magic_crossover,
+)
+
+DEPTH = 10
+BLOWUP_DEPTH = 13
+
+
+def test_fig13_crossover(run_once):
+    points = run_once(run_magic_crossover, DEPTH)
+    print()
+    print(format_fig13(points))
+    print()
+    print(format_fig14(points))
+
+    for strategy in ("naive", "seminaive"):
+        strategy_points = [p for p in points if p.strategy == strategy]
+        plain = {p.label: p for p in strategy_points if not p.optimized}
+        optimized = {p.label: p for p in strategy_points if p.optimized}
+
+        # Unoptimized: flat across two decades of selectivity.
+        plain_seconds = [p.seconds for p in plain.values()]
+        assert max(plain_seconds) < 4 * min(plain_seconds), plain_seconds
+
+        # Optimized: clearly cheaper at the lowest selectivity...
+        lowest = min(optimized.values(), key=lambda p: p.selectivity)
+        assert lowest.seconds < 0.6 * plain[lowest.label].seconds
+
+        # ...growing with selectivity (highest point much above lowest).
+        highest = max(optimized.values(), key=lambda p: p.selectivity)
+        assert highest.seconds > 2 * lowest.seconds
+
+        # A crossover exists, at high selectivity.
+        crossover = find_crossover(points, strategy)
+        assert crossover is not None, f"no crossover for {strategy}"
+        assert crossover > 0.3, crossover
+
+        # Identical answers with and without optimization.
+        for label, p in optimized.items():
+            assert p.answers == plain[label].answers
+
+    # Naive's crossover is no lower than semi-naive's.
+    naive_crossover = find_crossover(points, "naive")
+    seminaive_crossover = find_crossover(points, "seminaive")
+    assert naive_crossover >= seminaive_crossover - 1e-9
+
+    # Figure 14: the modified-rules LFP is the selectivity-sensitive one.
+    optimized_semi = sorted(
+        (
+            p
+            for p in points
+            if p.optimized and p.strategy == "seminaive"
+        ),
+        key=lambda p: p.selectivity,
+    )
+    modified = [
+        sum(s for l, s in p.node_seconds.items() if not l.startswith("m_"))
+        for p in optimized_semi
+    ]
+    assert modified[-1] > 2 * modified[0], modified
+
+
+def test_fig13_low_selectivity_blowup(run_once):
+    plain, optimized = run_once(run_low_selectivity_blowup, BLOWUP_DEPTH)
+    ratio = plain.seconds / optimized.seconds
+    print()
+    print(
+        f"low-selectivity blowup (depth {BLOWUP_DEPTH}, D={plain.total_facts}, "
+        f"D_rel={plain.relevant_facts}): plain {plain.seconds * 1000:.1f} ms, "
+        f"magic {optimized.seconds * 1000:.1f} ms, ratio {ratio:.0f}x"
+    )
+    assert plain.answers == optimized.answers
+    # The paper reports "several orders of magnitude"; we require >= 20x.
+    assert ratio > 20, ratio

@@ -1,0 +1,45 @@
+"""Test 8 (Figure 15): stored-D/KB update time vs rule-base size.
+
+Paper findings reproduced here:
+
+* updates are much faster without compiled rule storage structures (the
+  paper reports almost an order of magnitude) — source-form storage skips
+  the relevant-rule extraction and the incremental closure maintenance;
+* ``t_u`` is relatively insensitive to the total number of stored rules
+  ``R_s`` in *both* configurations, because the incremental algorithm only
+  touches the affected portion of the closure.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+
+from repro.bench import format_fig15, run_update_experiment
+
+STORED_RULES = (9, 45, 90, 135, 189)
+
+
+def test_fig15_update_time(run_once):
+    points = run_once(run_update_experiment, STORED_RULES, 1, 5)
+    print()
+    print(format_fig15(points))
+
+    compiled = {p.stored_rules: p for p in points if p.compiled_storage}
+    source_only = {p.stored_rules: p for p in points if not p.compiled_storage}
+    assert set(compiled) == set(source_only) == set(STORED_RULES)
+
+    # Source-only updates are much cheaper at every R_s.
+    ratios = [
+        compiled[r].seconds / source_only[r].seconds for r in STORED_RULES
+    ]
+    assert all(r > 1.5 for r in ratios), ratios
+    assert median(ratios) > 3.0, ratios
+
+    # Insensitive to R_s (21x spread in R_s, bounded spread in t_u).
+    for curve in (compiled, source_only):
+        seconds = [curve[r].seconds for r in STORED_RULES]
+        assert max(seconds) < 6 * min(seconds), seconds
+
+    # Storing the source form is a small part of even the compiled update.
+    for point in compiled.values():
+        assert point.percentage("store") < 50.0

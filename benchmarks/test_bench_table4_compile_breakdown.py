@@ -1,0 +1,38 @@
+"""Test 3 (Table 4): compilation-time breakdown.
+
+Paper findings reproduced here:
+
+* as ``R_rs`` grows from 1 to 20 the share of ``t_extract`` in total
+  compilation time rises substantially (25% -> 67% in the paper);
+* the generate/compile/link component is a significant contributor
+  (the paper notes it is "very much compiler dependent").
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table4, run_compile_breakdown
+
+RELEVANT_RULES = (1, 7, 20)
+
+
+def test_table4_compile_breakdown(run_once):
+    rows = run_once(run_compile_breakdown, RELEVANT_RULES, 189, 7)
+    print()
+    print(format_table4(rows))
+
+    by_relevant = {row.relevant_rules: row for row in rows}
+    # The extract share rises sharply with R_rs.
+    assert (
+        by_relevant[20].percentage("extract")
+        > by_relevant[1].percentage("extract")
+    )
+    # Absolute extract time also rises.
+    assert (
+        by_relevant[20].components["extract"]
+        > by_relevant[1].components["extract"]
+    )
+    # Generate-compile-link is a real contributor for the small query.
+    assert by_relevant[1].percentage("gencompile") > 10.0
+    # Components cover the whole compilation (no unaccounted time).
+    for row in rows:
+        assert abs(sum(row.percentage(c) for c in row.components) - 100.0) < 1e-6

@@ -1,0 +1,66 @@
+"""Flight network analysis: recursion over a cyclic graph, plus negation.
+
+Routes form a *cyclic* directed graph (hub-and-spoke with return legs), so
+this exercises LFP evaluation where naive iteration could loop forever
+without proper termination checks.  The stratified-negation extension then
+answers "which cities can NOT be reached from the hub?".
+
+Run:  python examples/flight_network.py
+"""
+
+from repro import LfpStrategy, Testbed
+
+RULES = """
+reachable(A, B) :- flight(A, B).
+reachable(A, B) :- flight(A, C), reachable(C, B).
+
+city(X) :- airport(X).
+unreachable_from_hub(X) :- city(X), not hub_reach(X).
+hub_reach(X) :- reachable('FRA', X).
+"""
+
+FLIGHTS = [
+    # a European cycle
+    ("FRA", "CDG"), ("CDG", "MAD"), ("MAD", "FRA"),
+    # spokes
+    ("FRA", "JFK"), ("JFK", "SFO"), ("SFO", "JFK"),
+    ("CDG", "NRT"),
+    # an isolated pair
+    ("SYD", "AKL"), ("AKL", "SYD"),
+]
+
+AIRPORTS = sorted({a for pair in FLIGHTS for a in pair})
+
+
+def main() -> None:
+    testbed = Testbed()
+    testbed.define(RULES)
+    testbed.define_base_relation("flight", ("TEXT", "TEXT"))
+    testbed.define_base_relation("airport", ("TEXT",))
+    testbed.load_facts("flight", FLIGHTS)
+    testbed.load_facts("airport", [(a,) for a in AIRPORTS])
+
+    # Reachability from the hub, over a graph with three cycles.
+    reach = testbed.query("?- reachable('FRA', X).", optimize=True)
+    print("reachable from FRA:", sorted(x for (x,) in reach.rows))
+
+    # All three LFP strategies terminate on the cyclic data and agree.
+    for strategy in LfpStrategy:
+        result = testbed.query("?- reachable('FRA', X).", strategy=strategy)
+        assert sorted(result.rows) == sorted(reach.rows)
+        print(f"  {strategy.value:<13} {result.execution_seconds * 1000:6.2f} ms, "
+              f"{result.execution.total_iterations} iterations")
+
+    # Stratified negation: the isolated Oceania pair is unreachable.
+    isolated = testbed.query("?- unreachable_from_hub(X).")
+    print("NOT reachable from FRA:", sorted(x for (x,) in isolated.rows))
+
+    # Round trips: cities on a cycle through FRA.
+    round_trip = testbed.query("?- reachable('FRA', X), reachable(X, 'FRA').")
+    print("round-trippable via FRA:", sorted(x for (x,) in set(round_trip.rows)))
+
+    testbed.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""``python -m repro`` launches the User Interface REPL."""
+
+from .ui.repl import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Timing utilities for the experiment harness.
+
+Experiments report the median of several repetitions to damp scheduler
+noise; logical counters (SQL statements, rows) from the DBMS statistics are
+taken from the final repetition — they are deterministic.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Median wall time over repetitions, with the last return value."""
+
+    seconds: float
+    repetitions: int
+    value: object
+
+    @property
+    def milliseconds(self) -> float:
+        """Median time in milliseconds."""
+        return self.seconds * 1000.0
+
+
+def timed(function: Callable[[], T], repetitions: int = 3) -> TimedRun:
+    """Run ``function`` ``repetitions`` times; report the median wall time."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    samples: list[float] = []
+    value: object = None
+    for __ in range(repetitions):
+        started = time.perf_counter()
+        value = function()
+        samples.append(time.perf_counter() - started)
+    return TimedRun(statistics.median(samples), repetitions, value)
+
+
+def fraction(part: float, whole: float) -> float:
+    """``part / whole`` guarded against an empty denominator."""
+    return part / whole if whole else 0.0
+
+
+def percentage(part: float, whole: float) -> float:
+    """Percentage contribution, 0-100."""
+    return 100.0 * fraction(part, whole)

@@ -1,0 +1,76 @@
+"""The Horn-clause (Datalog) language substrate.
+
+Everything the Knowledge Manager needs to analyse pure, function-free Horn
+clause programs: terms and clauses, the parser, unification, the Predicate
+Connection Graph with clique detection, the evaluation graph and order list,
+type inference, safety checking, adornment/SIP, the generalized magic sets
+rewriting, and stratification for the negation extension.
+"""
+
+from .adornment import AdornedProgram, adorn_program, adorned_name, adornment_of
+from .clauses import Clause, Program, Query, fact
+from .evalgraph import (
+    EvaluationGraph,
+    PredicateNode,
+    all_evaluation_orders,
+    build_evaluation_graph,
+    evaluation_order,
+    evaluation_order_list,
+    relevant_rules,
+)
+from .magic import MagicProgram, magic_name, magic_rewrite
+from .parser import parse_clause, parse_program, parse_query
+from .pcg import Clique, PredicateConnectionGraph, find_cliques
+from .safety import check_program as check_safety
+from .safety import is_safe
+from .stratify import Stratification, has_negation, is_stratifiable, stratify
+from .subsumption import is_tautology, simplify_program, subsumes
+from .terms import Atom, Constant, Term, Variable
+from .typecheck import TypeEnvironment, infer_types
+from .unify import Substitution, match, unify_atoms, unify_terms
+
+__all__ = [
+    "AdornedProgram",
+    "Atom",
+    "Clause",
+    "Clique",
+    "Constant",
+    "EvaluationGraph",
+    "MagicProgram",
+    "PredicateConnectionGraph",
+    "PredicateNode",
+    "Program",
+    "Query",
+    "Stratification",
+    "Substitution",
+    "Term",
+    "TypeEnvironment",
+    "Variable",
+    "adorn_program",
+    "adorned_name",
+    "adornment_of",
+    "all_evaluation_orders",
+    "build_evaluation_graph",
+    "check_safety",
+    "evaluation_order",
+    "evaluation_order_list",
+    "fact",
+    "find_cliques",
+    "has_negation",
+    "infer_types",
+    "is_safe",
+    "is_stratifiable",
+    "is_tautology",
+    "simplify_program",
+    "subsumes",
+    "magic_name",
+    "magic_rewrite",
+    "match",
+    "parse_clause",
+    "parse_program",
+    "parse_query",
+    "relevant_rules",
+    "stratify",
+    "unify_atoms",
+    "unify_terms",
+]

@@ -1,0 +1,194 @@
+"""Adornments and sideways information passing (SIP).
+
+The generalized magic sets optimization (Beeri & Ramakrishnan, the paper's
+reference [10]) works on an *adorned* rule set: every derived predicate
+occurrence carries a string over ``{b, f}`` marking which argument positions
+are bound at call time.  Bindings propagate *sideways* through a rule body;
+this module implements the standard left-to-right SIP, which the paper's
+testbed also uses (it lists cleverer IP-strategy generation as designed but
+not implemented).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import OptimizationError
+from .clauses import Clause, Program, Query
+from .terms import Atom, Constant, Variable
+
+BOUND = "b"
+FREE = "f"
+
+
+def adornment_of(atom: Atom, bound_variables: set[Variable]) -> str:
+    """The adornment string of ``atom`` given the currently bound variables."""
+    letters = []
+    for term in atom.terms:
+        if isinstance(term, Constant) or term in bound_variables:
+            letters.append(BOUND)
+        else:
+            letters.append(FREE)
+    return "".join(letters)
+
+
+def adorned_name(predicate: str, adornment: str) -> str:
+    """Name of the adorned version of ``predicate``, e.g. ``ancestor__bf``."""
+    return f"{predicate}__{adornment}"
+
+
+def split_adorned_name(name: str) -> tuple[str, str]:
+    """Inverse of :func:`adorned_name`.
+
+    Raises:
+        ValueError: when ``name`` is not an adorned predicate name.
+    """
+    base, separator, adornment = name.rpartition("__")
+    if not separator or not adornment or set(adornment) - {BOUND, FREE}:
+        raise ValueError(f"{name!r} is not an adorned predicate name")
+    return base, adornment
+
+
+def bound_terms(atom: Atom, adornment: str) -> tuple:
+    """The argument terms of ``atom`` at the bound positions of ``adornment``."""
+    if len(adornment) != atom.arity:
+        raise ValueError(
+            f"adornment {adornment!r} does not fit {atom.predicate}/{atom.arity}"
+        )
+    return tuple(
+        term for term, letter in zip(atom.terms, adornment) if letter == BOUND
+    )
+
+
+@dataclass(frozen=True)
+class AdornedProgram:
+    """Result of the adornment pass.
+
+    ``rules`` use adorned names for derived predicates; ``query_goal`` is the
+    adorned version of the (single-goal) query; ``derived`` records which
+    *original* predicates are derived, and ``adornments`` maps each original
+    derived predicate to the set of adornments generated for it.
+    """
+
+    rules: Program
+    query_goal: Atom
+    derived: frozenset[str]
+    adornments: dict[str, set[str]]
+
+
+def adorn_program(
+    rules: Program, query: Query, derived_predicates: Iterable[str]
+) -> AdornedProgram:
+    """Adorn ``rules`` for ``query`` using the left-to-right SIP.
+
+    Only single-goal queries over a derived predicate are adorned (the
+    testbed rewrites multi-goal queries into an auxiliary rule first; see
+    :mod:`repro.km.optimizer`).
+
+    Raises:
+        OptimizationError: when the query goal is not a derived predicate.
+    """
+    derived = frozenset(derived_predicates)
+    if len(query.goals) != 1:
+        raise OptimizationError(
+            "adornment requires a single-goal query; wrap multi-goal queries "
+            "in an auxiliary rule first"
+        )
+    goal = query.goals[0]
+    if goal.predicate not in derived:
+        raise OptimizationError(
+            f"query goal {goal.predicate!r} is not a derived predicate; "
+            "magic sets does not apply"
+        )
+
+    query_adornment = adornment_of(goal, set())
+    worklist: list[tuple[str, str]] = [(goal.predicate, query_adornment)]
+    done: set[tuple[str, str]] = set()
+    adorned_rules = Program()
+    adornments: dict[str, set[str]] = {}
+
+    while worklist:
+        predicate, adornment = worklist.pop()
+        if (predicate, adornment) in done:
+            continue
+        done.add((predicate, adornment))
+        adornments.setdefault(predicate, set()).add(adornment)
+        for clause in rules.defining(predicate):
+            if not clause.is_rule:
+                continue
+            adorned_clause, calls = _adorn_rule(clause, adornment, derived)
+            adorned_rules.add(adorned_clause)
+            for called_predicate, called_adornment in calls:
+                if (called_predicate, called_adornment) not in done:
+                    worklist.append((called_predicate, called_adornment))
+
+    adorned_goal = Atom(
+        adorned_name(goal.predicate, query_adornment), goal.terms
+    )
+    return AdornedProgram(adorned_rules, adorned_goal, derived, adornments)
+
+
+def _adorn_rule(
+    clause: Clause, head_adornment: str, derived: frozenset[str]
+) -> tuple[Clause, list[tuple[str, str]]]:
+    """Adorn one rule for one head adornment.
+
+    Returns the adorned clause and the (predicate, adornment) pairs of the
+    derived body atoms it calls.
+    """
+    if len(head_adornment) != clause.head.arity:
+        raise OptimizationError(
+            f"adornment {head_adornment!r} does not fit head of {clause}"
+        )
+    bound: set[Variable] = set()
+    for term, letter in zip(clause.head.terms, head_adornment):
+        if letter == BOUND and isinstance(term, Variable):
+            bound.add(term)
+
+    new_body: list[Atom] = []
+    calls: list[tuple[str, str]] = []
+    for atom in clause.body:
+        if atom.predicate in derived and not atom.negated:
+            atom_adornment = adornment_of(atom, bound)
+            calls.append((atom.predicate, atom_adornment))
+            new_body.append(
+                Atom(adorned_name(atom.predicate, atom_adornment), atom.terms)
+            )
+        else:
+            new_body.append(atom)
+        # Left-to-right SIP: after an atom is evaluated all its variables are
+        # bound for the atoms to its right (negated atoms bind nothing).
+        if not atom.negated:
+            bound.update(atom.variables)
+
+    new_head = Atom(
+        adorned_name(clause.head.predicate, head_adornment), clause.head.terms
+    )
+    return Clause(new_head, tuple(new_body)), calls
+
+
+def reorder_body_for_sip(clause: Clause, head_bound: Sequence[Variable]) -> Clause:
+    """Greedy body reordering so bound atoms come first (an IP strategy).
+
+    The paper lists an algorithm for "efficiently generating [an] information
+    passing strategy" as designed but unimplemented; this simple greedy pass
+    stands in for it: repeatedly pick the not-yet-placed atom sharing the most
+    variables with the already-bound set (ties: original order), so sideways
+    information flows early.
+    """
+    remaining = list(clause.body)
+    bound = set(head_bound)
+    ordered: list[Atom] = []
+    while remaining:
+        def score(atom: Atom) -> tuple[int, int]:
+            shared = sum(1 for v in atom.variables if v in bound)
+            constants = sum(1 for t in atom.terms if isinstance(t, Constant))
+            return (shared + constants, -remaining.index(atom))
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        if not best.negated:
+            bound.update(best.variables)
+    return Clause(clause.head, tuple(ordered))

@@ -1,0 +1,307 @@
+"""Horn clauses, facts, rules, queries, and rule programs.
+
+Section 2.1 of the paper: a Horn clause is ``head :- body`` with at most one
+head atom and a conjunctive body; a *fact* is a ground clause with an empty
+body; a *rule* is any other clause.  A *program* is a set of clauses closed
+under the convention (also from the paper) that every predicate is defined
+entirely by rules or entirely by facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ArityError
+from .terms import Atom, Constant, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """A definite Horn clause ``head :- body``.
+
+    ``body`` may be empty, in which case the clause asserts its head
+    unconditionally; if the head is also ground the clause is a *fact*.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise ValueError("clause heads cannot be negated")
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.head} :- {body}."
+
+    @property
+    def is_fact(self) -> bool:
+        """True for a ground, body-less clause (paper section 2.1)."""
+        return not self.body and self.head.is_ground
+
+    @property
+    def is_rule(self) -> bool:
+        """True for any clause that is not a fact."""
+        return not self.is_fact
+
+    @property
+    def head_predicate(self) -> str:
+        """Name of the predicate this clause (partially) defines."""
+        return self.head.predicate
+
+    @property
+    def body_predicates(self) -> tuple[str, ...]:
+        """Predicate names in the body, in order, with duplicates."""
+        return tuple(a.predicate for a in self.body)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables of the clause in first-occurrence order (head first)."""
+        seen: dict[Variable, None] = {}
+        for atom in (self.head, *self.body):
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    seen.setdefault(term, None)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        """All constants of the clause (head first, positional order)."""
+        out: list[Constant] = []
+        for atom in (self.head, *self.body):
+            out.extend(atom.constants)
+        return tuple(out)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Clause":
+        """Apply a substitution to head and body."""
+        return Clause(
+            self.head.substitute(mapping),
+            tuple(a.substitute(mapping) for a in self.body),
+        )
+
+    def rename_apart(self, suffix: str) -> "Clause":
+        """Rename every variable by appending ``suffix`` (for standardising apart)."""
+        mapping = {v: Variable(f"{v.name}{suffix}") for v in self.variables}
+        return self.substitute(mapping)
+
+    def is_range_restricted(self) -> bool:
+        """True when every head variable also occurs in a positive body atom.
+
+        Range restriction is the safety condition for pure Datalog; see
+        :mod:`repro.datalog.safety` for the full check with negation.
+        """
+        positive_vars = {
+            v for atom in self.body if not atom.negated for v in atom.variables
+        }
+        return all(v in positive_vars for v in self.head.variables)
+
+
+def fact(predicate: str, *values: str | int) -> Clause:
+    """Convenience constructor for a ground fact, e.g. ``fact('parent', 'a', 'b')``."""
+    return Clause(Atom(predicate, tuple(Constant(v) for v in values)))
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A D/KB query: a conjunction of goal atoms with an implicit answer head.
+
+    The paper expresses queries as Horn clauses whose head is the answer
+    relation (e.g. ``query(X) :- ancestor('john', X)``).  ``answer_variables``
+    lists the distinguished variables returned to the user, in output-column
+    order.
+    """
+
+    goals: tuple[Atom, ...]
+    answer_variables: tuple[Variable, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.goals, tuple):
+            object.__setattr__(self, "goals", tuple(self.goals))
+        if not isinstance(self.answer_variables, tuple):
+            object.__setattr__(
+                self, "answer_variables", tuple(self.answer_variables)
+            )
+        if not self.goals:
+            raise ValueError("query must have at least one goal")
+        goal_vars = {v for g in self.goals for v in g.variables}
+        if not self.answer_variables:
+            ordered: dict[Variable, None] = {}
+            for goal in self.goals:
+                for v in goal.variables:
+                    ordered.setdefault(v, None)
+            object.__setattr__(self, "answer_variables", tuple(ordered))
+        else:
+            missing = [v for v in self.answer_variables if v not in goal_vars]
+            if missing:
+                names = ", ".join(v.name for v in missing)
+                raise ValueError(f"answer variables not bound by any goal: {names}")
+
+    def __str__(self) -> str:
+        body = ", ".join(str(g) for g in self.goals)
+        return f"?- {body}."
+
+    ANSWER_PREDICATE = "_query"
+
+    def as_clause(self) -> Clause:
+        """The query as a rule defining the reserved answer predicate."""
+        head = Atom(self.ANSWER_PREDICATE, self.answer_variables)
+        return Clause(head, self.goals)
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """Predicates referenced by the query goals."""
+        return tuple(g.predicate for g in self.goals)
+
+
+class Program:
+    """An ordered, de-duplicated collection of clauses with indexes by head.
+
+    The Workspace D/KB and extracted Stored D/KB rules are both held as
+    programs.  Clause order is preserved (it is the user's entry order) but
+    equality and membership are set-like.
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self._clauses: list[Clause] = []
+        self._seen: set[Clause] = set()
+        self._by_head: dict[str, list[Clause]] = {}
+        self._arities: dict[str, int] = {}
+        for clause in clauses:
+            self.add(clause)
+
+    def add(self, clause: Clause) -> bool:
+        """Add ``clause``; return ``False`` when it was already present.
+
+        Raises:
+            ArityError: when the clause uses a predicate with an arity that
+                conflicts with earlier clauses.
+        """
+        if clause in self._seen:
+            return False
+        self._check_arities(clause)
+        self._seen.add(clause)
+        self._clauses.append(clause)
+        self._by_head.setdefault(clause.head_predicate, []).append(clause)
+        return True
+
+    def _check_arities(self, clause: Clause) -> None:
+        for atom in (clause.head, *clause.body):
+            known = self._arities.get(atom.predicate)
+            if known is None:
+                self._arities[atom.predicate] = atom.arity
+            elif known != atom.arity:
+                raise ArityError(atom.predicate, {known, atom.arity})
+
+    def extend(self, clauses: Iterable[Clause]) -> int:
+        """Add many clauses; return how many were new."""
+        return sum(1 for c in clauses if self.add(c))
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __contains__(self, clause: object) -> bool:
+        return clause in self._seen
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self._seen == other._seen
+
+    def __repr__(self) -> str:
+        return f"Program({len(self._clauses)} clauses)"
+
+    def arity_of(self, predicate: str) -> int | None:
+        """Known arity of ``predicate``, or ``None`` if never seen."""
+        return self._arities.get(predicate)
+
+    @property
+    def rules(self) -> list[Clause]:
+        """The rule subset, in entry order."""
+        return [c for c in self._clauses if c.is_rule]
+
+    @property
+    def facts(self) -> list[Clause]:
+        """The fact subset, in entry order."""
+        return [c for c in self._clauses if c.is_fact]
+
+    def defining(self, predicate: str) -> list[Clause]:
+        """Clauses whose head predicate is ``predicate`` (the relation definition)."""
+        return list(self._by_head.get(predicate, ()))
+
+    @property
+    def head_predicates(self) -> set[str]:
+        """Predicates defined by at least one clause."""
+        return set(self._by_head)
+
+    @property
+    def derived_predicates(self) -> set[str]:
+        """Predicates defined by at least one rule (paper: intensional DB)."""
+        return {p for p, cs in self._by_head.items() if any(c.is_rule for c in cs)}
+
+    @property
+    def base_predicates(self) -> set[str]:
+        """Predicates appearing only in bodies or defined purely by facts."""
+        referenced = {a.predicate for c in self._clauses for a in c.body}
+        fact_defined = {
+            p
+            for p, cs in self._by_head.items()
+            if cs and all(c.is_fact for c in cs)
+        }
+        return (referenced - self.derived_predicates) | (
+            fact_defined - self.derived_predicates
+        )
+
+    @property
+    def predicates(self) -> set[str]:
+        """All predicates mentioned anywhere in the program."""
+        out = set(self._by_head)
+        for clause in self._clauses:
+            out.update(a.predicate for a in clause.body)
+        return out
+
+    def restricted_to(self, predicates: Iterable[str]) -> "Program":
+        """Sub-program of clauses whose head predicate is in ``predicates``."""
+        wanted = set(predicates)
+        return Program(c for c in self._clauses if c.head_predicate in wanted)
+
+    def normalized(self) -> "Program":
+        """Split predicates defined by both rules and facts (paper section 2.1).
+
+        For every predicate ``p`` with mixed definitions, facts move to a new
+        base predicate ``p__base`` and a bridging rule ``p(X...) :- p__base(X...)``
+        is added, making every predicate purely extensional or purely
+        intensional.
+        """
+        mixed = {
+            p
+            for p, cs in self._by_head.items()
+            if any(c.is_fact for c in cs) and any(c.is_rule for c in cs)
+        }
+        if not mixed:
+            return self
+        out = Program()
+        bridged: set[str] = set()
+        for clause in self._clauses:
+            p = clause.head_predicate
+            if p in mixed and clause.is_fact:
+                base_name = f"{p}__base"
+                out.add(Clause(clause.head.with_predicate(base_name)))
+                if p not in bridged:
+                    bridged.add(p)
+                    variables = tuple(
+                        Variable(f"X{i}") for i in range(clause.head.arity)
+                    )
+                    out.add(
+                        Clause(Atom(p, variables), (Atom(base_name, variables),))
+                    )
+            else:
+                out.add(clause)
+        return out

@@ -1,0 +1,225 @@
+"""The Predicate Connection Graph (paper section 2.2).
+
+Nodes are predicates; for every rule ``p :- q1, ..., qn`` there is a directed
+edge ``p -> qi`` for each body predicate (i.e. an edge from a predicate to the
+predicates it *depends on*).  A predicate ``q`` is then *reachable from* ``p``
+exactly when the paper's definition holds.  Strongly connected components of
+the PCG give the mutually-recursive predicate groups; a *clique* in the
+paper's broader sense bundles such a group with its recursive and exit rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .clauses import Clause, Program
+
+
+class PredicateConnectionGraph:
+    """Directed dependency graph over predicate names.
+
+    Built from a set of rules; facts contribute isolated (base) nodes only.
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self._successors: dict[str, set[str]] = {}
+        self._predecessors: dict[str, set[str]] = {}
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_node(self, predicate: str) -> None:
+        """Ensure ``predicate`` exists as a node."""
+        self._successors.setdefault(predicate, set())
+        self._predecessors.setdefault(predicate, set())
+
+    def add_edge(self, head: str, body: str) -> None:
+        """Add the dependency edge head -> body."""
+        self.add_node(head)
+        self.add_node(body)
+        self._successors[head].add(body)
+        self._predecessors[body].add(head)
+
+    def add_clause(self, clause: Clause) -> None:
+        """Add all edges contributed by ``clause``."""
+        self.add_node(clause.head_predicate)
+        for atom in clause.body:
+            self.add_edge(clause.head_predicate, atom.predicate)
+
+    @property
+    def nodes(self) -> set[str]:
+        """All predicate nodes."""
+        return set(self._successors)
+
+    def successors(self, predicate: str) -> set[str]:
+        """Predicates that ``predicate`` directly depends on."""
+        return set(self._successors.get(predicate, ()))
+
+    def predecessors(self, predicate: str) -> set[str]:
+        """Predicates that directly depend on ``predicate``."""
+        return set(self._predecessors.get(predicate, ()))
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All (head, body) dependency edges."""
+        for head, bodies in self._successors.items():
+            for body in sorted(bodies):
+                yield head, body
+
+    def __contains__(self, predicate: object) -> bool:
+        return predicate in self._successors
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    def reachable_from(self, *start: str) -> set[str]:
+        """Predicates reachable (one or more edges) from any of ``start``.
+
+        Matches the paper's definition: a predicate is not considered
+        reachable from itself unless it lies on a cycle.
+        """
+        frontier = [s for s in start if s in self._successors]
+        reached: set[str] = set()
+        while frontier:
+            node = frontier.pop()
+            for successor in self._successors.get(node, ()):
+                if successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+        return reached
+
+    def transitive_closure(self) -> set[tuple[str, str]]:
+        """All (from, to) pairs with ``to`` reachable from ``from``.
+
+        This is the relation the testbed materialises as ``reachablepreds``
+        (paper section 4.1).
+        """
+        return {
+            (node, target)
+            for node in self._successors
+            for target in self.reachable_from(node)
+        }
+
+    def strongly_connected_components(self) -> list[set[str]]:
+        """Tarjan's algorithm, iterative; components in reverse topological order.
+
+        "Reverse topological" means every component appears before any
+        component that depends on it — exactly the evaluation order the
+        bottom-up strategy needs.
+        """
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[set[str]] = []
+        counter = 0
+
+        for root in sorted(self._successors):
+            if root in index_of:
+                continue
+            # Iterative Tarjan: work items are (node, iterator over successors).
+            work: list[tuple[str, Iterator[str]]] = []
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            work.append((root, iter(sorted(self._successors[root]))))
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index_of:
+                        index_of[successor] = lowlink[successor] = counter
+                        counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append(
+                            (successor, iter(sorted(self._successors[successor])))
+                        )
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def is_recursive(self, predicate: str) -> bool:
+        """True when ``predicate`` is reachable from itself (paper section 2.2)."""
+        return predicate in self.reachable_from(predicate)
+
+
+@dataclass(frozen=True)
+class Clique:
+    """A clique in the paper's broad sense (section 2.2, Figure 3).
+
+    A set of mutually recursive predicates together with the rules defining
+    them, split into *recursive rules* (some body predicate is in the clique)
+    and *exit rules* (no body predicate is in the clique).
+    """
+
+    predicates: frozenset[str]
+    recursive_rules: tuple[Clause, ...]
+    exit_rules: tuple[Clause, ...]
+
+    @property
+    def rules(self) -> tuple[Clause, ...]:
+        """All defining rules, recursive first."""
+        return self.recursive_rules + self.exit_rules
+
+    def __str__(self) -> str:
+        names = ", ".join(sorted(self.predicates))
+        return (
+            f"Clique({{{names}}}, {len(self.recursive_rules)} recursive, "
+            f"{len(self.exit_rules)} exit)"
+        )
+
+
+def find_cliques(program: Program) -> list[Clique]:
+    """Partition the recursive portion of ``program`` into cliques.
+
+    Returns cliques in reverse topological (evaluation) order.  Predicates
+    that are not recursive yield no clique; they are handled as plain
+    non-recursive nodes of the evaluation graph.
+    """
+    pcg = PredicateConnectionGraph(program.rules)
+    cliques: list[Clique] = []
+    for component in pcg.strongly_connected_components():
+        if len(component) == 1:
+            predicate = next(iter(component))
+            if predicate not in pcg.successors(predicate):
+                continue  # not self-recursive: a plain predicate node
+        recursive: list[Clause] = []
+        exit_rules: list[Clause] = []
+        for predicate in sorted(component):
+            for clause in program.defining(predicate):
+                if not clause.is_rule:
+                    continue
+                if any(a.predicate in component for a in clause.body):
+                    recursive.append(clause)
+                else:
+                    exit_rules.append(clause)
+        cliques.append(
+            Clique(frozenset(component), tuple(recursive), tuple(exit_rules))
+        )
+    return cliques
+
+
+def clique_of(predicate: str, cliques: Iterable[Clique]) -> Clique | None:
+    """The clique containing ``predicate``, if any."""
+    for clique in cliques:
+        if predicate in clique.predicates:
+            return clique
+    return None

@@ -1,0 +1,86 @@
+"""Safety (range-restriction) checking.
+
+The paper lists "the safety check for recursive queries" as an open issue
+(section 6); we implement the standard one.  A Datalog rule is *safe* when
+
+* every head variable occurs in a positive body atom, and
+* every variable of a negated body atom occurs in a positive body atom.
+
+Safe rules always denote finite relations over a finite extensional database,
+which is what lets the Code Generator translate them to SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import SafetyError
+from .clauses import Clause, Program
+from .terms import Variable
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One unsafe rule with the variables that are not range-restricted."""
+
+    clause: Clause
+    unrestricted_head: tuple[Variable, ...]
+    unrestricted_negated: tuple[Variable, ...]
+
+    def describe(self) -> str:
+        """Human-readable explanation of the violation."""
+        parts = []
+        if self.unrestricted_head:
+            names = ", ".join(v.name for v in self.unrestricted_head)
+            parts.append(f"head variables not bound by a positive body atom: {names}")
+        if self.unrestricted_negated:
+            names = ", ".join(v.name for v in self.unrestricted_negated)
+            parts.append(f"negated-atom variables not bound positively: {names}")
+        return f"unsafe rule {self.clause}: " + "; ".join(parts)
+
+
+def check_clause(clause: Clause) -> SafetyViolation | None:
+    """Check one clause; return a violation or ``None`` when safe."""
+    positive_vars = {
+        v for atom in clause.body if not atom.negated for v in atom.variables
+    }
+    bad_head = tuple(
+        v for v in clause.head.variables if v not in positive_vars
+    )
+    bad_negated_ordered: dict[Variable, None] = {}
+    for atom in clause.body:
+        if atom.negated:
+            for v in atom.variables:
+                if v not in positive_vars:
+                    bad_negated_ordered.setdefault(v, None)
+    bad_negated = tuple(bad_negated_ordered)
+    if not bad_head and not bad_negated:
+        return None
+    return SafetyViolation(clause, bad_head, bad_negated)
+
+
+def violations(clauses: Iterable[Clause]) -> list[SafetyViolation]:
+    """All safety violations among ``clauses``."""
+    found = []
+    for clause in clauses:
+        violation = check_clause(clause)
+        if violation is not None:
+            found.append(violation)
+    return found
+
+
+def check_program(program: Program) -> None:
+    """Raise on the first unsafe rule of ``program``.
+
+    Raises:
+        SafetyError: describing every violation found.
+    """
+    found = violations(program)
+    if found:
+        raise SafetyError("; ".join(v.describe() for v in found))
+
+
+def is_safe(clause: Clause) -> bool:
+    """True when ``clause`` passes the safety check."""
+    return check_clause(clause) is None

@@ -1,0 +1,111 @@
+"""Stratification for the negation extension.
+
+The paper lists "extension of Horn clauses to include negation" as future
+work (section 6).  We implement *stratified* negation: the program is split
+into strata such that a predicate's negative dependencies lie strictly below
+it; each stratum is then an ordinary Horn program evaluated bottom-up, with
+negated atoms reading the (now complete) relations of lower strata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StratificationError
+from .clauses import Program
+from .pcg import PredicateConnectionGraph
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """An assignment of derived predicates to strata 0..n-1."""
+
+    stratum_of: dict[str, int]
+
+    @property
+    def stratum_count(self) -> int:
+        """Number of strata (0 when there are no derived predicates)."""
+        if not self.stratum_of:
+            return 0
+        return max(self.stratum_of.values()) + 1
+
+    def strata(self) -> list[set[str]]:
+        """Predicates grouped by stratum, lowest first."""
+        groups: list[set[str]] = [set() for __ in range(self.stratum_count)]
+        for predicate, stratum in self.stratum_of.items():
+            groups[stratum].add(predicate)
+        return groups
+
+    def split_program(self, program: Program) -> list[Program]:
+        """The rule sub-programs per stratum, lowest first."""
+        return [program.restricted_to(group) for group in self.strata()]
+
+
+def stratify(program: Program) -> Stratification:
+    """Compute a stratification of ``program``.
+
+    The algorithm collapses the PCG into strongly connected components and
+    verifies no negative edge stays inside a component, then longest-path
+    layers the component DAG counting negative edges.
+
+    Raises:
+        StratificationError: when a negated dependency participates in a
+            recursion cycle (the program is not stratifiable).
+    """
+    derived = program.derived_predicates
+    pcg = PredicateConnectionGraph(program.rules)
+    negative_edges: set[tuple[str, str]] = set()
+    for clause in program.rules:
+        for atom in clause.body:
+            if atom.negated and atom.predicate in derived:
+                negative_edges.add((clause.head_predicate, atom.predicate))
+
+    components = pcg.strongly_connected_components()
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = index
+
+    for head, body in negative_edges:
+        if component_of.get(head) == component_of.get(body):
+            raise StratificationError(
+                f"negation of {body!r} inside a recursion with {head!r}; "
+                "the program is not stratifiable"
+            )
+
+    # components arrive in reverse topological order: dependencies first.
+    stratum_of_component: dict[int, int] = {}
+    for index, component in enumerate(components):
+        level = 0
+        for predicate in component:
+            for dependency in pcg.successors(predicate):
+                dep_component = component_of[dependency]
+                if dep_component == index:
+                    continue
+                dep_level = stratum_of_component.get(dep_component, 0)
+                if (predicate, dependency) in negative_edges:
+                    level = max(level, dep_level + 1)
+                else:
+                    level = max(level, dep_level)
+        stratum_of_component[index] = level
+
+    stratum_of = {
+        predicate: stratum_of_component[component_of[predicate]]
+        for predicate in derived
+        if predicate in component_of
+    }
+    return Stratification(stratum_of)
+
+
+def is_stratifiable(program: Program) -> bool:
+    """True when :func:`stratify` succeeds."""
+    try:
+        stratify(program)
+    except StratificationError:
+        return False
+    return True
+
+
+def has_negation(program: Program) -> bool:
+    """True when any rule body contains a negated atom."""
+    return any(atom.negated for clause in program.rules for atom in clause.body)

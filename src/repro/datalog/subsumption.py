@@ -1,0 +1,98 @@
+"""Clause subsumption and rule-base simplification.
+
+A clause ``C`` *theta-subsumes* ``D`` when some substitution ``θ`` maps
+``C``'s head to ``D``'s head and every body atom of ``Cθ`` into ``D``'s
+body.  A subsumed rule derives nothing its subsumer does not, so removing it
+preserves the least fixed point — letting the Knowledge Manager keep the
+workspace and stored rule bases free of redundant rules (e.g. a re-entered
+rule with renamed variables, or a specialised copy of a general rule).
+
+For function-free clauses the check is decidable; the search below matches
+body atoms with backtracking, which is exponential in the worst case but
+instantaneous on rule-sized clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .clauses import Clause, Program
+from .terms import Atom
+from .unify import Substitution, apply_substitution, match_atom_oneway
+
+
+def subsumes(general: Clause, specific: Clause) -> bool:
+    """Whether ``general`` theta-subsumes ``specific``.
+
+    Facts are handled as body-less clauses: ``p(X)`` subsumes ``p(a)``.
+    """
+    if general.head.predicate != specific.head.predicate:
+        return False
+    if general.head.arity != specific.head.arity:
+        return False
+    head_binding = match_atom_oneway(general.head, specific.head, {})
+    if head_binding is None:
+        return False
+    return _cover_body(list(general.body), specific.body, head_binding)
+
+
+def _cover_body(
+    remaining: list[Atom], targets: Sequence[Atom], binding: Substitution
+) -> bool:
+    if not remaining:
+        return True
+    first, rest = remaining[0], remaining[1:]
+    for target in targets:
+        extended = match_atom_oneway(first, target, binding)
+        if extended is not None and _cover_body(rest, targets, extended):
+            return True
+    return False
+
+
+def is_tautology(clause: Clause) -> bool:
+    """Whether the clause's head literally appears in its own body.
+
+    Such a rule (``p(X) :- p(X), ...``) can never derive a new tuple.
+    """
+    return any(
+        not atom.negated and atom == clause.head for atom in clause.body
+    )
+
+
+def subsumed_by_any(clause: Clause, others: Iterable[Clause]) -> Optional[Clause]:
+    """The first clause in ``others`` that strictly subsumes ``clause``."""
+    for other in others:
+        if other is not clause and other != clause and subsumes(other, clause):
+            return other
+    return None
+
+
+def simplify_program(program: Program) -> tuple[Program, list[Clause]]:
+    """Remove tautologies and subsumed clauses from ``program``.
+
+    Clauses are processed in entry order; a clause is dropped when a
+    previously kept clause subsumes it, and it evicts any previously kept
+    clause it *strictly* subsumes.  Alphabetic variants (clauses subsuming
+    each other) keep their first occurrence.
+
+    Returns:
+        The simplified program (entry order preserved) and the list of
+        removed clauses.  The least fixed point is unchanged.
+    """
+    removed: list[Clause] = []
+    final: list[Clause] = []
+    for clause in program:
+        if is_tautology(clause):
+            removed.append(clause)
+            continue
+        if any(subsumes(kept, clause) for kept in final):
+            removed.append(clause)
+            continue
+        # `clause` survived, so nothing kept subsumes it; anything kept that
+        # it subsumes is therefore strictly more specific — evict it.
+        evicted = [kept for kept in final if subsumes(clause, kept)]
+        for kept in evicted:
+            final.remove(kept)
+            removed.append(kept)
+        final.append(clause)
+    return Program(final), removed

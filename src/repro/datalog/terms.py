@@ -1,0 +1,165 @@
+"""Terms and atomic formulas of the pure, function-free Horn clause language.
+
+The paper's language (section 2.1) is Datalog: terms are either variables or
+constants (no function symbols), and an *atom* is a predicate applied to a
+tuple of terms.  These classes are immutable and hashable so they can be used
+freely as dictionary keys and set members throughout the Knowledge Manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A universally quantified logical variable, e.g. ``X`` in ``p(X, Y)``.
+
+    By convention (and enforced by the parser) variable names start with an
+    upper-case letter or underscore.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def renamed(self, suffix: str) -> "Variable":
+        """Return a fresh variable whose name carries ``suffix``."""
+        return Variable(f"{self.name}{suffix}")
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant term: a string symbol or an integer.
+
+    The testbed stores string constants as SQL ``TEXT`` and integers as SQL
+    ``INTEGER``; :mod:`repro.datalog.typecheck` infers which, per column.
+    """
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+    @property
+    def sql_type(self) -> str:
+        """The SQL column type this constant belongs to (``TEXT``/``INTEGER``)."""
+        return "INTEGER" if isinstance(self.value, int) else "TEXT"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """True when ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True when ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``predicate(t1, ..., tn)``.
+
+    ``negated`` supports the stratified-negation extension (section 6 of the
+    paper lists negation as future work; we implement it).  The pure language
+    of the paper never sets it.
+    """
+
+    predicate: str
+    terms: tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise ValueError("atom predicate name must be non-empty")
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({args})"
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """The variables of the atom, in order of first occurrence."""
+        seen: dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        """All constant arguments, in positional order (with duplicates)."""
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    @property
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def positive(self) -> "Atom":
+        """This atom without negation."""
+        if not self.negated:
+            return self
+        return Atom(self.predicate, self.terms, negated=False)
+
+    def negate(self) -> "Atom":
+        """The negation of this atom."""
+        return Atom(self.predicate, self.terms, negated=not self.negated)
+
+    def with_predicate(self, predicate: str) -> "Atom":
+        """A copy of this atom under a different predicate name."""
+        return Atom(predicate, self.terms, negated=self.negated)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a substitution to every variable argument."""
+        terms = tuple(
+            mapping.get(t, t) if isinstance(t, Variable) else t for t in self.terms
+        )
+        return Atom(self.predicate, terms, negated=self.negated)
+
+    def ground_tuple(self) -> tuple[Union[str, int], ...]:
+        """The Python tuple of values for a ground atom.
+
+        Raises:
+            ValueError: if the atom still contains variables.
+        """
+        if not self.is_ground:
+            raise ValueError(f"atom {self} is not ground")
+        return tuple(t.value for t in self.terms)  # type: ignore[union-attr]
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_variable(base: str = "V") -> Variable:
+    """Return a variable guaranteed not to clash with parsed user variables.
+
+    Parsed variables never contain ``#``, so embedding it guarantees
+    freshness across the whole process.
+    """
+    return Variable(f"{base}#{next(_fresh_counter)}")
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> Iterator[Variable]:
+    """All variables appearing in ``atoms``, in first-occurrence order."""
+    seen: set[Variable] = set()
+    for atom in atoms:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.add(term)
+                yield term

@@ -1,0 +1,224 @@
+"""Type inference and checking for derived predicates (paper section 3.2.4).
+
+The Semantic Checker's second task: infer, for each derived predicate, the
+type of every column, and verify that all rules defining a predicate infer
+the *same* types.  Base relation column types come from the extensional data
+dictionary.
+
+Inference is constraint unification: every (predicate, column) position is a
+type variable; a rule variable shared between positions unifies them, and
+constants / base-dictionary declarations constrain them.  Two constraints on
+one equivalence class must agree — that is the paper's "same types inferred
+from all the rules" check.  A position left wholly unconstrained (possible
+for recursive predicates with no exit rule, whose fixed point is empty, such
+as ``p2`` in the paper's Figure 1) defaults to ``TEXT``.
+
+Types are SQL column types; the testbed uses ``TEXT`` and ``INTEGER``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import TypeInferenceError
+from .clauses import Program
+from .terms import Constant, Variable
+
+ColumnTypes = tuple[str, ...]
+
+TEXT = "TEXT"
+INTEGER = "INTEGER"
+DEFAULT_TYPE = TEXT
+
+_VALID_TYPES = frozenset((TEXT, INTEGER))
+
+PositionKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class TypeEnvironment:
+    """Inferred column types for every predicate relevant to a query."""
+
+    types: Mapping[str, ColumnTypes]
+
+    def of(self, predicate: str) -> ColumnTypes:
+        """Column types of ``predicate``.
+
+        Raises:
+            TypeInferenceError: when the predicate's types are unknown.
+        """
+        try:
+            return self.types[predicate]
+        except KeyError:
+            raise TypeInferenceError(
+                f"no types inferred for predicate {predicate!r}"
+            ) from None
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self.types
+
+
+class _UnionFind:
+    """Union-find over position keys with a type constraint per class."""
+
+    def __init__(self) -> None:
+        self._parent: dict[PositionKey, PositionKey] = {}
+        self._constraint: dict[PositionKey, str] = {}
+
+    def find(self, key: PositionKey) -> PositionKey:
+        self._parent.setdefault(key, key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, left: PositionKey, right: PositionKey, source: str) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return
+        left_type = self._constraint.get(left_root)
+        right_type = self._constraint.get(right_root)
+        if left_type and right_type and left_type != right_type:
+            raise TypeInferenceError(
+                f"conflicting types {left_type} vs {right_type} for "
+                f"{_pretty(left)} and {_pretty(right)} (from {source})"
+            )
+        self._parent[right_root] = left_root
+        merged = left_type or right_type
+        if merged:
+            self._constraint[left_root] = merged
+
+    def constrain(self, key: PositionKey, ctype: str, source: str) -> None:
+        root = self.find(key)
+        existing = self._constraint.get(root)
+        if existing and existing != ctype:
+            raise TypeInferenceError(
+                f"conflicting types for {_pretty(key)}: {existing} vs "
+                f"{ctype} (from {source})"
+            )
+        self._constraint[root] = ctype
+
+    def type_of(self, key: PositionKey) -> str | None:
+        return self._constraint.get(self.find(key))
+
+
+def _pretty(key: PositionKey) -> str:
+    predicate, position = key
+    return f"{predicate!r} column {position}"
+
+
+def infer_types(
+    program: Program,
+    base_types: Mapping[str, Sequence[str]],
+    allow_undefined: bool = False,
+) -> TypeEnvironment:
+    """Infer column types for every derived predicate of ``program``.
+
+    Args:
+        program: the relevant rules (and optionally facts).
+        base_types: column types of base relations, from the extensional
+            data dictionary (stored derived predicates already in the
+            intensional dictionary may be passed here too — their declared
+            types then constrain the inference).
+        allow_undefined: tolerate body predicates that are neither defined
+            nor declared, treating their columns as unconstrained type
+            variables.  The stored-D/KB update algorithm uses this: the
+            paper's session model allows storing rules whose body predicates
+            are defined later.
+
+    Raises:
+        TypeInferenceError: on any conflict — within a rule, between two
+            rules defining the same predicate, or against the dictionaries —
+            or (unless ``allow_undefined``) when a body predicate is neither
+            defined nor declared.
+    """
+    uf = _UnionFind()
+    arity: dict[str, int] = {}
+    defined = set(program.head_predicates)
+
+    for predicate, columns in base_types.items():
+        columns = tuple(columns)
+        bad = [c for c in columns if c not in _VALID_TYPES]
+        if bad:
+            raise TypeInferenceError(
+                f"relation {predicate!r} declares unsupported types {bad}"
+            )
+        arity[predicate] = len(columns)
+        for position, ctype in enumerate(columns):
+            uf.constrain((predicate, position), ctype, "data dictionary")
+
+    def check_arity(predicate: str, used: int, source: str) -> None:
+        known = arity.setdefault(predicate, used)
+        if known != used:
+            raise TypeInferenceError(
+                f"predicate {predicate!r} has {known} columns but is used "
+                f"with {used} arguments in {source}"
+            )
+
+    for clause in program:
+        source = str(clause)
+        variable_keys: dict[Variable, PositionKey] = {}
+        for atom in (clause.head, *clause.body):
+            if (
+                not allow_undefined
+                and atom is not clause.head
+                and atom.predicate not in defined
+                and atom.predicate not in base_types
+            ):
+                raise TypeInferenceError(
+                    f"could not infer types for predicate {atom.predicate!r} "
+                    f"in {source}: neither defined by rules/facts nor "
+                    "declared as a base relation"
+                )
+            check_arity(atom.predicate, atom.arity, source)
+            for position, term in enumerate(atom.terms):
+                key = (atom.predicate, position)
+                if isinstance(term, Constant):
+                    uf.constrain(key, term.sql_type, source)
+                else:
+                    anchor = variable_keys.get(term)
+                    if anchor is None:
+                        variable_keys[term] = key
+                    else:
+                        uf.union(anchor, key, source)
+
+    inferred: dict[str, ColumnTypes] = {}
+    for predicate, columns in base_types.items():
+        inferred[predicate] = tuple(columns)
+    for predicate in defined:
+        if predicate in inferred:
+            # Also defined by clauses: verify agreement position-wise (the
+            # constrain calls above already raised on conflicts).
+            continue
+        inferred[predicate] = tuple(
+            uf.type_of((predicate, position)) or DEFAULT_TYPE
+            for position in range(arity.get(predicate, 0))
+        )
+    return TypeEnvironment(inferred)
+
+
+def check_query_types(
+    query_goals: Sequence, environment: TypeEnvironment
+) -> None:
+    """Verify query constants against the inferred column types.
+
+    Raises:
+        TypeInferenceError: when a goal constant's type differs from the
+            column type of its position, or the arity is wrong.
+    """
+    for goal in query_goals:
+        columns = environment.of(goal.predicate)
+        if len(columns) != goal.arity:
+            raise TypeInferenceError(
+                f"query goal {goal} has {goal.arity} arguments but "
+                f"{goal.predicate!r} has {len(columns)} columns"
+            )
+        for term, column_type in zip(goal.terms, columns):
+            if isinstance(term, Constant) and term.sql_type != column_type:
+                raise TypeInferenceError(
+                    f"query constant {term} does not match {column_type} "
+                    f"column of {goal.predicate!r}"
+                )

@@ -1,0 +1,159 @@
+"""Substitutions and unification over function-free terms.
+
+Unification in Datalog is simple (no occurs-check is needed because there are
+no function symbols) but it is still the workhorse of the top-down evaluator
+and of several static analyses (e.g. deciding whether a stored rule can
+contribute to a goal).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .terms import Atom, Constant, Term, Variable
+
+__all__ = [
+    "Substitution",
+    "apply_substitution",
+    "compose",
+    "is_ground_under",
+    "match",
+    "match_atom_oneway",
+    "unify_atoms",
+    "unify_terms",
+    "variables_of",
+    "walk",
+]
+
+Substitution = dict[Variable, Term]
+
+
+def walk(term: Term, substitution: Mapping[Variable, Term]) -> Term:
+    """Follow variable bindings in ``substitution`` until a fixed point.
+
+    With function-free terms chains are short, but chained variable-to-variable
+    bindings do occur during unification, so we resolve them fully.
+    """
+    while isinstance(term, Variable) and term in substitution:
+        term = substitution[term]
+    return term
+
+
+def unify_terms(
+    left: Term, right: Term, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify two terms, extending ``substitution``; ``None`` on failure.
+
+    The input substitution is never mutated; a new dict is returned on
+    success.
+    """
+    subst: Substitution = dict(substitution or {})
+    left = walk(left, subst)
+    right = walk(right, subst)
+    if isinstance(left, Variable):
+        if left != right:
+            subst[left] = right
+        return subst
+    if isinstance(right, Variable):
+        subst[right] = left
+        return subst
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return subst if left.value == right.value else None
+    return None
+
+
+def unify_atoms(
+    left: Atom, right: Atom, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify two atoms of the same predicate and arity; ``None`` on failure."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    if left.negated != right.negated:
+        return None
+    subst: Optional[Substitution] = dict(substitution or {})
+    for l_term, r_term in zip(left.terms, right.terms):
+        subst = unify_terms(l_term, r_term, subst)
+        if subst is None:
+            return None
+    return subst
+
+
+def apply_substitution(atom: Atom, substitution: Mapping[Variable, Term]) -> Atom:
+    """Apply ``substitution`` to ``atom``, resolving binding chains."""
+    terms = tuple(
+        walk(t, substitution) if isinstance(t, Variable) else t for t in atom.terms
+    )
+    return Atom(atom.predicate, terms, negated=atom.negated)
+
+
+def compose(
+    outer: Mapping[Variable, Term], inner: Mapping[Variable, Term]
+) -> Substitution:
+    """The substitution equivalent to applying ``inner`` then ``outer``."""
+    composed: Substitution = {}
+    for var, term in inner.items():
+        composed[var] = walk(term, outer) if isinstance(term, Variable) else term
+    for var, term in outer.items():
+        composed.setdefault(var, term)
+    return composed
+
+
+def is_ground_under(atom: Atom, substitution: Mapping[Variable, Term]) -> bool:
+    """True when applying ``substitution`` leaves no variables in ``atom``."""
+    return apply_substitution(atom, substitution).is_ground
+
+
+def match(pattern: Atom, ground: Atom) -> Optional[Substitution]:
+    """One-way matching: bind ``pattern`` variables so it equals ``ground``.
+
+    Unlike unification this never binds variables of ``ground`` (which must be
+    a ground atom).  Used when filtering facts against a goal.
+    """
+    if not ground.is_ground:
+        raise ValueError(f"match target {ground} is not ground")
+    if pattern.predicate != ground.predicate or pattern.arity != ground.arity:
+        return None
+    subst: Substitution = {}
+    for p_term, g_term in zip(pattern.terms, ground.terms):
+        if isinstance(p_term, Constant):
+            if p_term.value != g_term.value:  # type: ignore[union-attr]
+                return None
+        else:
+            bound = subst.get(p_term)
+            if bound is None:
+                subst[p_term] = g_term
+            elif bound != g_term:
+                return None
+    return subst
+
+
+def match_atom_oneway(
+    pattern: Atom, target: Atom, binding: Mapping[Variable, Term]
+) -> Optional[Substitution]:
+    """One-way matching where the target may itself contain variables.
+
+    Only ``pattern``'s variables are bound; the target's variables are
+    treated as inert symbols (the standard matching used by
+    theta-subsumption).  Returns an extension of ``binding`` or ``None``.
+    """
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    if pattern.negated != target.negated:
+        return None
+    result: Substitution = dict(binding)
+    for p_term, t_term in zip(pattern.terms, target.terms):
+        if isinstance(p_term, Constant):
+            if p_term != t_term:
+                return None
+        else:
+            bound = result.get(p_term)
+            if bound is None:
+                result[p_term] = t_term
+            elif bound != t_term:
+                return None
+    return result
+
+
+def variables_of(atoms: Iterable[Atom]) -> set[Variable]:
+    """The set of variables occurring in ``atoms``."""
+    return {v for atom in atoms for v in atom.variables}

@@ -1,0 +1,100 @@
+"""Relation schemas for the testbed's DBMS layer.
+
+Every relation the testbed materialises — base relations, derived-predicate
+results, magic predicates, temporaries — uses positional column names
+``c0 .. c{n-1}``; the logical column names live in the data dictionaries,
+mirroring how the paper's testbed keeps schema information in catalog
+relations rather than in the storage layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+_VALID_TYPES = frozenset(("TEXT", "INTEGER"))
+
+
+def column_name(index: int) -> str:
+    """Positional column name used by every testbed relation."""
+    return f"c{index}"
+
+
+def column_names(arity: int) -> tuple[str, ...]:
+    """All positional column names of a relation with ``arity`` columns."""
+    return tuple(column_name(i) for i in range(arity))
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The physical schema of one stored relation."""
+
+    name: str
+    types: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation name must be non-empty")
+        if not isinstance(self.types, tuple):
+            object.__setattr__(self, "types", tuple(self.types))
+        bad = [t for t in self.types if t not in _VALID_TYPES]
+        if bad:
+            raise ValueError(f"unsupported column types {bad} for {self.name!r}")
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.types)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Positional column names."""
+        return column_names(self.arity)
+
+    def create_table_sql(self, temporary: bool = False, name: str | None = None) -> str:
+        """DDL creating this relation (optionally under another ``name``)."""
+        target = name or self.name
+        keyword = "CREATE TEMPORARY TABLE" if temporary else "CREATE TABLE"
+        body = ", ".join(
+            f"{column} {ctype}" for column, ctype in zip(self.columns, self.types)
+        )
+        return f"{keyword} {quote_identifier(target)} ({body})"
+
+    def insert_sql(self, name: str | None = None) -> str:
+        """Parameterised INSERT for this relation."""
+        target = name or self.name
+        placeholders = ", ".join("?" for __ in self.types)
+        return f"INSERT INTO {quote_identifier(target)} VALUES ({placeholders})"
+
+    def renamed(self, name: str) -> "RelationSchema":
+        """The same schema under a different relation name."""
+        return RelationSchema(name, self.types)
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier, doubling embedded quotes."""
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def schema_for(name: str, types: Iterable[str]) -> RelationSchema:
+    """Convenience constructor accepting any iterable of types."""
+    return RelationSchema(name, tuple(types))
+
+
+def validate_row(schema: RelationSchema, row: Sequence) -> None:
+    """Check a row's shape and value types against ``schema``.
+
+    Raises:
+        ValueError: on arity or type mismatch.
+    """
+    if len(row) != schema.arity:
+        raise ValueError(
+            f"row {row!r} has {len(row)} values but {schema.name!r} has "
+            f"{schema.arity} columns"
+        )
+    for value, ctype in zip(row, schema.types):
+        if ctype == "INTEGER" and not isinstance(value, int):
+            raise ValueError(f"value {value!r} is not INTEGER in {schema.name!r}")
+        if ctype == "TEXT" and not isinstance(value, str):
+            raise ValueError(f"value {value!r} is not TEXT in {schema.name!r}")

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the D/KBMS testbed.
+
+Every error raised by the public API derives from :class:`TestbedError`, so
+callers can catch one base class.  The sub-hierarchy mirrors the components of
+the Knowledge Manager described in the paper: parsing, semantic checking,
+optimization, code generation, and DBMS access each have a distinct error
+class.
+"""
+
+from __future__ import annotations
+
+
+class TestbedError(Exception):
+    """Base class for all errors raised by the testbed."""
+
+    # Despite the Test* name, this is not a pytest case.
+    __test__ = False
+
+
+class ParseError(TestbedError):
+    """A Horn clause, fact, or query could not be parsed.
+
+    Carries the offending source text and, when available, the position of
+    the first bad token.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        location = f" at position {position}" if position is not None else ""
+        source = f" in {text!r}" if text else ""
+        super().__init__(f"{message}{location}{source}")
+
+
+class SemanticError(TestbedError):
+    """Base class for errors detected by the Semantic Checker."""
+
+
+class UndefinedPredicateError(SemanticError):
+    """A derived predicate reachable from the query has no defining rule.
+
+    This is the first semantic check of section 3.2.4 of the paper.
+    """
+
+    def __init__(self, predicate: str):
+        self.predicate = predicate
+        super().__init__(f"no rule or base relation defines predicate {predicate!r}")
+
+
+class TypeInferenceError(SemanticError):
+    """Type inference failed or two rules infer conflicting column types.
+
+    This is the second semantic check of section 3.2.4 of the paper.
+    """
+
+
+class ArityError(SemanticError):
+    """A predicate is used with inconsistent numbers of arguments."""
+
+    def __init__(self, predicate: str, arities: set[int]):
+        self.predicate = predicate
+        self.arities = frozenset(arities)
+        pretty = ", ".join(str(a) for a in sorted(arities))
+        super().__init__(f"predicate {predicate!r} used with conflicting arities: {pretty}")
+
+
+class SafetyError(SemanticError):
+    """A rule is unsafe: a head or negated variable is not range-restricted."""
+
+
+class StratificationError(SemanticError):
+    """A program with negation has no stratification (negation in a cycle)."""
+
+
+class OptimizationError(TestbedError):
+    """The magic-sets (or other) rewriting could not be applied."""
+
+
+class CodeGenerationError(TestbedError):
+    """The Code Generator could not emit a program fragment for the query."""
+
+
+class EvaluationError(TestbedError):
+    """The run-time library failed while evaluating a query program."""
+
+
+class CatalogError(TestbedError):
+    """A base relation is missing from, or conflicts with, the data dictionary."""
+
+
+class UpdateError(TestbedError):
+    """The stored-D/KB update algorithm failed or would corrupt the store."""
+
+
+class WorkloadError(TestbedError):
+    """A synthetic workload generator was given invalid parameters."""

@@ -1,0 +1,134 @@
+"""Query precompilation (paper conclusion 3).
+
+"Precompilation of D/KB queries can prove to be very useful ... especially
+for frequently occurring queries with large R_rs values.  The price of
+precompilation is that, for precompiled queries, information about rules and
+relations must be recorded.  During updates, this information is checked to
+see whether the update invalidates any compiled query."
+
+:class:`PrecompiledQueryCache` implements exactly that: compiled query
+programs are cached keyed by canonical query text and compilation options;
+each entry records the predicates its compilation depended on; the session
+checks every workspace definition and stored-D/KB update against those
+dependency sets and drops the entries an update could invalidate.
+
+Correctness note: entries only need invalidation on *rule* changes.  Fact
+loads never invalidate — the compiled program reads base relations at
+execution time — though a plan chosen by the adaptive policy may become
+suboptimal (never wrong) as data drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..datalog.clauses import Query
+from ..runtime.program import LfpStrategy
+from .compiler import CompilationResult
+
+CacheKey = tuple[str, str, str]
+
+
+def cache_key(
+    query: Union[Query, str],
+    optimize: Union[bool, str],
+    strategy: LfpStrategy,
+) -> CacheKey:
+    """Canonical cache key for a query and its compilation options."""
+    text = str(query).strip()
+    return (text, str(optimize), strategy.value)
+
+
+@dataclass
+class CacheEntry:
+    """One precompiled query with its recorded dependency information."""
+
+    result: CompilationResult
+    dependencies: frozenset[str]
+    hits: int = 0
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss/invalidations counters for the experiment harness."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PrecompiledQueryCache:
+    """Compiled-program cache with rule-dependency invalidation."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: dict[CacheKey, CacheEntry] = {}
+        self.statistics = CacheStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> CompilationResult | None:
+        """The cached program for ``key``, or ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        entry.hits += 1
+        self.statistics.hits += 1
+        # Move to the back of the eviction order (LRU).
+        self._entries[key] = self._entries.pop(key)
+        return entry.result
+
+    def put(self, key: CacheKey, result: CompilationResult) -> None:
+        """Cache a compilation, recording its rule dependencies.
+
+        The dependency set is every predicate whose definition the compiled
+        plan embeds: heads *and* body predicates of the relevant rules, plus
+        the query's own goal predicates — a rule added for any of them can
+        change the plan.
+        """
+        dependencies: set[str] = set(result.program.query.predicates)
+        for clause in result.relevant_rules:
+            dependencies.add(clause.head_predicate)
+            dependencies.update(clause.body_predicates)
+        if len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = CacheEntry(result, frozenset(dependencies))
+
+    def invalidate_for(self, predicates: Iterable[str]) -> list[CacheKey]:
+        """Drop every entry depending on any of ``predicates``.
+
+        This is the update-time check the paper describes; returns the keys
+        that were invalidated.
+        """
+        changed = set(predicates)
+        if not changed:
+            return []
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.dependencies & changed
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.statistics.invalidations += len(doomed)
+        return doomed
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        self._entries.clear()
+
+    def entries(self) -> dict[CacheKey, CacheEntry]:
+        """A snapshot of the cache contents (for inspection/tests)."""
+        return dict(self._entries)

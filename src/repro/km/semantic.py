@@ -1,0 +1,95 @@
+"""The Semantic Checker (paper section 3.2.4).
+
+Two checks run after the relevant rules are assembled:
+
+1. **Definedness** — every derived predicate reachable from the query has at
+   least one defining rule (a predicate defined by neither rules nor a base
+   relation is an error).
+2. **Type checking** — infer the column types of every relevant derived
+   predicate and verify all defining rules agree
+   (:mod:`repro.datalog.typecheck`), cross-checking against any types already
+   recorded in the intensional data dictionary.
+
+We additionally run the safety (range-restriction) check the paper defers to
+future work, because unsafe rules cannot be compiled to SQL anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..datalog.clauses import Program, Query
+from ..datalog.safety import check_program as check_safety
+from ..datalog.stratify import has_negation, stratify
+from ..datalog.typecheck import TypeEnvironment, check_query_types, infer_types
+from ..errors import TypeInferenceError, UndefinedPredicateError
+
+
+@dataclass(frozen=True)
+class SemanticReport:
+    """Everything the checks establish about the relevant rules."""
+
+    types: TypeEnvironment
+    derived_predicates: frozenset[str]
+    base_predicates: frozenset[str]
+
+
+def check_semantics(
+    rules: Program,
+    query: Query,
+    base_types: Mapping[str, Sequence[str]],
+    dictionary_types: Mapping[str, Sequence[str]] | None = None,
+) -> SemanticReport:
+    """Run both semantic checks for ``query`` over the relevant ``rules``.
+
+    Args:
+        rules: the relevant rules (workspace + extracted stored rules).
+        query: the user query.
+        base_types: column types of base relations, from the extensional
+            data dictionary.
+        dictionary_types: previously inferred column types of stored derived
+            predicates, from the intensional data dictionary (cross-checked
+            against fresh inference).
+
+    Raises:
+        UndefinedPredicateError: when a referenced predicate is neither a
+            base relation nor defined by a rule.
+        TypeInferenceError: on any type conflict.
+        SafetyError: when a relevant rule is unsafe.
+    """
+    derived = rules.derived_predicates
+    known_base = set(base_types)
+
+    referenced: set[str] = set()
+    for clause in rules.rules:
+        referenced.add(clause.head_predicate)
+        referenced.update(clause.body_predicates)
+    referenced.update(query.predicates)
+
+    for predicate in sorted(referenced):
+        if predicate not in derived and predicate not in known_base:
+            if rules.defining(predicate):
+                continue  # defined by workspace facts
+            raise UndefinedPredicateError(predicate)
+
+    check_safety(rules)
+    if has_negation(rules):
+        stratify(rules)  # raises StratificationError when unstratifiable
+
+    environment = infer_types(rules, base_types)
+    if dictionary_types:
+        for predicate, recorded in dictionary_types.items():
+            if predicate in environment:
+                inferred = environment.of(predicate)
+                if inferred != tuple(recorded):
+                    raise TypeInferenceError(
+                        f"stored dictionary lists {predicate!r} as "
+                        f"{tuple(recorded)} but the rules infer {inferred}"
+                    )
+    check_query_types(query.goals, environment)
+    return SemanticReport(
+        environment,
+        frozenset(derived),
+        frozenset(known_base),
+    )

@@ -1,0 +1,252 @@
+"""The Testbed facade: the public user API (paper section 3.1's "typical
+session").
+
+A session owns one DBMS (SQLite database), the extensional catalog, the
+Stored D/KB, and a Workspace D/KB.  The user creates rules and facts in the
+workspace, issues queries against workspace + stored rules, and — when
+satisfied — updates the Stored D/KB with the workspace rules.
+
+Facts always describe *base* predicates: they are loaded straight into the
+extensional database.  A predicate must be purely extensional or purely
+intensional (the paper's section 2.1 convention); ``define`` applies the
+standard normalisation automatically when a text program mixes them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..datalog.clauses import Clause, Query
+from ..datalog.parser import parse_program
+from ..dbms.catalog import ExtensionalCatalog
+from ..dbms.engine import Database
+from ..errors import CatalogError, SemanticError
+from ..runtime.program import ExecutionResult, LfpStrategy
+from .compiler import CompilationResult, QueryCompiler
+from .constraints import assert_consistent, check_consistency
+from .precompile import PrecompiledQueryCache, cache_key
+from .stored import StoredDKB
+from .update import UpdateResult, update_stored_dkb
+from .workspace import WorkspaceDKB
+
+
+@dataclass
+class QueryResult:
+    """The full outcome of one D/KB query: rows plus both measurement sets."""
+
+    rows: list[tuple]
+    compilation: CompilationResult
+    execution: ExecutionResult
+    execution_seconds: float
+
+    @property
+    def compile_seconds(self) -> float:
+        """The paper's ``t_c``."""
+        return self.compilation.timings.total
+
+    @property
+    def total_seconds(self) -> float:
+        """Compilation plus execution."""
+        return self.compile_seconds + self.execution_seconds
+
+
+class Testbed:
+    """A D/KBMS testbed session.
+
+    Args:
+        path: SQLite database path (default: in-memory).
+        compiled_rule_storage: maintain ``reachablepreds`` (the compiled rule
+            form).  Turning this off reproduces the paper's source-form-only
+            configuration: updates get much faster, query compilation slower.
+    """
+
+    # Despite the Test* name (from the paper), this is not a pytest case.
+    __test__ = False
+
+    def __init__(self, path: str = ":memory:", compiled_rule_storage: bool = True):
+        self.database = Database(path)
+        self.catalog = ExtensionalCatalog(self.database)
+        self.stored = StoredDKB(self.database, compiled_storage=compiled_rule_storage)
+        self.workspace = WorkspaceDKB()
+        self._compiler = QueryCompiler(self.workspace, self.stored, self.catalog)
+        self.precompiled = PrecompiledQueryCache()
+
+    def close(self) -> None:
+        """Close the DBMS connection."""
+        self.database.close()
+
+    def __enter__(self) -> "Testbed":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- building the D/KB ----------------------------------------------------
+
+    def define(self, source: str) -> list[Clause]:
+        """Add rules and facts from concrete syntax.
+
+        Rules go to the workspace; facts go to the extensional database,
+        creating base relations on first use (column types inferred from the
+        first fact).  Mixed predicates are normalised first.
+
+        Returns:
+            The clauses added (after normalisation).
+        """
+        program = parse_program(source).normalized()
+        added: list[Clause] = []
+        for clause in program:
+            if clause.is_fact:
+                self._load_fact(clause)
+                added.append(clause)
+            elif self.workspace.add_clause(clause):
+                added.append(clause)
+        # New rules can change compiled plans that depend on their head
+        # predicates; the precompiled-query cache must drop those entries.
+        new_rule_heads = {c.head_predicate for c in added if c.is_rule}
+        self.precompiled.invalidate_for(new_rule_heads)
+        return added
+
+    def _load_fact(self, clause: Clause) -> None:
+        predicate = clause.head_predicate
+        row = clause.head.ground_tuple()
+        if not self.catalog.has_relation(predicate):
+            types = tuple(
+                "INTEGER" if isinstance(value, int) else "TEXT" for value in row
+            )
+            self.catalog.create_relation(predicate, types)
+        self.catalog.insert_facts(predicate, [row])
+
+    def define_base_relation(
+        self, predicate: str, types: Sequence[str], indexed: bool = True
+    ) -> None:
+        """Create an (empty) base relation with explicit column types."""
+        self.catalog.create_relation(predicate, types, indexed=indexed)
+
+    def load_facts(self, predicate: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-load tuples into a base relation; returns the count loaded.
+
+        Raises:
+            CatalogError: when the relation does not exist.
+        """
+        if not self.catalog.has_relation(predicate):
+            raise CatalogError(
+                f"base relation {predicate!r} does not exist; call "
+                "define_base_relation first"
+            )
+        return self.catalog.insert_facts(predicate, rows)
+
+    # -- querying ----------------------------------------------------------------
+
+    def compile_query(
+        self,
+        query: Union[Query, str],
+        optimize: Union[bool, str] = False,
+        strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
+    ) -> CompilationResult:
+        """Compile a query without executing it (Tests 1-3 use this).
+
+        ``optimize`` is ``True``/``False``, or ``"auto"`` to let the
+        adaptive policy choose by estimated selectivity.
+        """
+        self._check_workspace_consistency()
+        return self._compiler.compile(query, optimize, strategy)
+
+    def query(
+        self,
+        query: Union[Query, str],
+        optimize: Union[bool, str] = False,
+        strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
+        precompile: bool = False,
+    ) -> QueryResult:
+        """Compile and execute a query; returns rows and all measurements.
+
+        With ``precompile=True`` the compiled program is looked up in (and
+        stored into) the precompiled-query cache — paper conclusion 3.
+        Cached plans are invalidated automatically when new rules are
+        defined or the stored D/KB is updated.
+        """
+        if precompile:
+            key = cache_key(query, optimize, strategy)
+            compilation = self.precompiled.get(key)
+            if compilation is None:
+                compilation = self.compile_query(query, optimize, strategy)
+                self.precompiled.put(key, compilation)
+        else:
+            compilation = self.compile_query(query, optimize, strategy)
+        started = time.perf_counter()
+        execution = compilation.program.execute(self.database, self.catalog)
+        elapsed = time.perf_counter() - started
+        return QueryResult(execution.rows, compilation, execution, elapsed)
+
+    def _check_workspace_consistency(self) -> None:
+        derived = self.workspace.derived_predicates
+        clashes = sorted(
+            p for p in derived if self.catalog.has_relation(p)
+        )
+        if clashes:
+            raise SemanticError(
+                "predicates defined by both facts and rules: "
+                + ", ".join(repr(p) for p in clashes)
+                + "; rename the base relation or the rule heads"
+            )
+
+    # -- updating the stored D/KB ---------------------------------------------------
+
+    def update_stored_dkb(
+        self, clear_workspace: bool = True, verify_consistency: bool = False
+    ) -> UpdateResult:
+        """Fold the workspace rules into the Stored D/KB (paper section 4.3).
+
+        Also performs the precompiled-query invalidation check the paper's
+        conclusion 3 calls for: cached plans depending on an updated
+        predicate are dropped.  With ``verify_consistency=True`` every
+        integrity constraint (:mod:`repro.km.constraints`) is checked first
+        and the update is refused while violations exist — the check the
+        paper's section 4.3 explicitly leaves out.
+        """
+        if verify_consistency:
+            assert_consistent(self)
+        result = update_stored_dkb(self.workspace, self.stored, self.catalog)
+        self.precompiled.invalidate_for(
+            {c.head_predicate for c in result.new_rules}
+        )
+        if clear_workspace:
+            self.workspace.clear()
+        return result
+
+    def check_consistency(self) -> list:
+        """Evaluate every integrity constraint; return the violations.
+
+        Constraints are denial rules with the reserved head predicate
+        ``inconsistent`` (see :mod:`repro.km.constraints`).
+        """
+        return check_consistency(self)
+
+    def clear_workspace(self) -> None:
+        """Empty the workspace and drop every precompiled plan.
+
+        Cached plans may embed workspace rules, so clearing the workspace
+        through this method (rather than ``workspace.clear()`` directly)
+        keeps the precompiled-query cache consistent.
+        """
+        self.workspace.clear()
+        self.precompiled.clear()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def stored_rule_count(self) -> int:
+        """The paper's R_s."""
+        return self.stored.rule_count()
+
+    @property
+    def stored_predicate_count(self) -> int:
+        """The paper's P_s."""
+        return self.stored.predicate_count()
+
+    def explain(self, query: Union[Query, str], optimize: bool = False) -> str:
+        """The generated program fragment for a query (demonstration aid)."""
+        return self.compile_query(query, optimize).fragment_source

@@ -1,0 +1,160 @@
+"""Query program execution: interpreting the evaluation order list.
+
+The Code Generator emits a :class:`QueryProgram` — the Python analogue of the
+paper's C program fragment, holding "information similar to the nodes of the
+evaluation order graph" (section 3.2.6): per node, the predicate names,
+schema information, and the SQL query per defining rule, with clique nodes
+distinguishing exit from recursive rules.  Executing the program walks the
+evaluation order list, materialising each node bottom-up, then reads the
+answer relation.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..datalog.clauses import Query
+from ..datalog.evalgraph import EvaluationNode, PredicateNode
+from ..datalog.pcg import Clique
+from ..dbms.catalog import ExtensionalCatalog, fact_table_name
+from ..dbms.engine import Database
+from ..dbms.sqlgen import compile_rule_body
+from ..errors import EvaluationError
+from .context import EvaluationContext
+from .lfp import evaluate_clique_lfp_operator
+from .naive import LfpResult, evaluate_clique_naive
+from .relalg import evaluate_nonrecursive
+from .seminaive import evaluate_clique_seminaive
+
+
+class LfpStrategy(enum.Enum):
+    """Which LFP evaluation the run-time library uses for clique nodes."""
+
+    NAIVE = "naive"
+    SEMINAIVE = "seminaive"
+    # Extension (paper conclusion #6): a generalized LFP operator inside the
+    # DBMS, avoiding per-iteration temp tables and full set differences.
+    LFP_OPERATOR = "lfp_operator"
+
+
+_CLIQUE_EVALUATORS = {
+    LfpStrategy.NAIVE: evaluate_clique_naive,
+    LfpStrategy.SEMINAIVE: evaluate_clique_seminaive,
+    LfpStrategy.LFP_OPERATOR: evaluate_clique_lfp_operator,
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Answer tuples plus the logical counters of one execution."""
+
+    rows: list[tuple]
+    iterations_by_clique: dict[str, int] = field(default_factory=dict)
+    tuples_by_predicate: dict[str, int] = field(default_factory=dict)
+    lfp_results: list[LfpResult] = field(default_factory=list)
+    # Wall seconds per evaluation node, keyed by the node's predicate set —
+    # Fig 14 reads the magic-rules vs modified-rules LFP times from here.
+    node_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_iterations(self) -> int:
+        """LFP iterations summed over cliques."""
+        return sum(self.iterations_by_clique.values())
+
+
+@dataclass(frozen=True)
+class QueryProgram:
+    """A compiled, executable query plan.
+
+    Attributes:
+        query: the original query (its goals form the final SELECT).
+        order: the evaluation order list over (possibly rewritten) rules.
+        types: column types of every predicate the program touches.
+        base_predicates: predicates read from the extensional database.
+        strategy: LFP strategy for clique nodes.
+        optimized: whether the rules were magic-sets rewritten.
+        goal_rewrites: maps each original query-goal predicate to the
+            (possibly adorned) predicate whose relation answers it.
+    """
+
+    query: Query
+    order: tuple[EvaluationNode, ...]
+    types: Mapping[str, tuple[str, ...]]
+    base_predicates: frozenset[str]
+    strategy: LfpStrategy = LfpStrategy.SEMINAIVE
+    optimized: bool = False
+    goal_rewrites: Mapping[str, str] = field(default_factory=dict)
+    # Ground tuples pre-loaded into derived relations before evaluation —
+    # the magic seed fact, and workspace facts over derived predicates.
+    seed_facts: Mapping[str, tuple[tuple, ...]] = field(default_factory=dict)
+
+    def execute(
+        self, database: Database, catalog: ExtensionalCatalog
+    ) -> ExecutionResult:
+        """Run the program bottom-up and return the answer tuples."""
+        table_of = {}
+        for predicate in self.base_predicates:
+            if not catalog.has_relation(predicate):
+                raise EvaluationError(
+                    f"base relation {predicate!r} is not loaded in the DBMS"
+                )
+            table_of[predicate] = fact_table_name(predicate)
+        context = EvaluationContext(database, table_of, self.types, self.seed_facts)
+
+        evaluate_clique = _CLIQUE_EVALUATORS[self.strategy]
+        lfp_results: list[LfpResult] = []
+        defined = program_predicates(self.order)
+        try:
+            # Seed-only predicates (e.g. a magic predicate with no deriving
+            # rules) never appear as an evaluation node; materialise them here
+            # so rule bodies referencing them find a relation.
+            for predicate in sorted(set(self.seed_facts) - defined):
+                context.materialise(predicate)
+                context.insert_seed_rows(predicate)
+            node_seconds: dict[str, float] = {}
+            for node in self.order:
+                label = "+".join(sorted(node.predicates))
+                started = time.perf_counter()
+                if isinstance(node, Clique):
+                    lfp_results.append(evaluate_clique(context, node))
+                elif isinstance(node, PredicateNode):
+                    evaluate_nonrecursive(context, node.predicate, node.rules)
+                else:  # pragma: no cover - the node union is closed
+                    raise EvaluationError(f"unknown evaluation node {node!r}")
+                node_seconds[label] = time.perf_counter() - started
+            rows = self._answer_rows(context)
+        finally:
+            context.cleanup()
+        return ExecutionResult(
+            rows,
+            dict(context.counters.iterations_by_clique),
+            dict(context.counters.tuples_by_predicate),
+            lfp_results,
+            node_seconds,
+        )
+
+    def _answer_rows(self, context: EvaluationContext) -> list[tuple]:
+        """Join the (materialised) query goals for the final answer."""
+        goals = tuple(
+            goal.with_predicate(self.goal_rewrites.get(goal.predicate, goal.predicate))
+            for goal in self.query.goals
+        )
+        answer_clause = Query(goals, self.query.answer_variables).as_clause()
+        select = compile_rule_body(answer_clause)
+        tables = [context.table_of(p) for p in select.table_slots]
+        rows = context.database.execute(select.render(tables), select.parameters)
+        if not self.query.answer_variables:
+            # Boolean (fully ground) query: true iff any witness row exists.
+            return [()] if rows else []
+        return rows
+
+
+def program_predicates(order: Sequence[EvaluationNode]) -> set[str]:
+    """All predicates defined by the program's evaluation nodes."""
+    defined: set[str] = set()
+    for node in order:
+        defined.update(node.predicates)
+    return defined

@@ -1,0 +1,72 @@
+"""Evaluation of non-recursive derived predicates.
+
+Bottom-up evaluation of a non-recursive predicate "is equivalent to computing
+a relational algebra expression" (paper section 2.4): one project-select-join
+SELECT per defining rule, unioned into the predicate's result relation with
+duplicate elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datalog.clauses import Clause
+from ..dbms.sqlgen import CompiledSelect, compile_rule_body, insert_new_tuples_sql
+from .context import EvaluationContext
+
+
+def evaluate_rule_into(
+    context: EvaluationContext,
+    target_predicate: str,
+    compiled: CompiledSelect,
+    overrides: dict[int, str] | None = None,
+) -> int:
+    """Run one compiled rule body, inserting new tuples into the target.
+
+    Args:
+        context: evaluation state (tables, types, counters).
+        target_predicate: the head predicate whose relation receives tuples.
+        compiled: the rule body compiled by
+            :func:`repro.dbms.sqlgen.compile_rule_body`.
+        overrides: optional map from positive-body-atom index to a table name
+            that should replace the predicate's default relation — how
+            semi-naive evaluation points one occurrence at a delta relation.
+
+    Returns:
+        Number of genuinely new tuples inserted.
+    """
+    overrides = overrides or {}
+    tables: list[str] = []
+    for index, predicate in enumerate(compiled.table_slots):
+        tables.append(overrides.get(index, context.table_of(predicate)))
+    select = compiled.render(tables)
+    target = context.table_of(target_predicate)
+    arity = len(context.types_of(target_predicate))
+    sql = insert_new_tuples_sql(target, select, arity)
+    before = context.database.row_count(target)
+    context.database.execute(sql, compiled.parameters)
+    return context.database.row_count(target) - before
+
+
+def evaluate_nonrecursive(
+    context: EvaluationContext, predicate: str, rules: Sequence[Clause]
+) -> int:
+    """Materialise a non-recursive derived predicate from its rules.
+
+    The predicate's relation must not depend on itself; the evaluation order
+    list guarantees all body predicates are already materialised.
+
+    Returns:
+        The number of tuples in the result relation.
+    """
+    context.materialise(predicate)
+    context.insert_seed_rows(predicate)
+    for clause in rules:
+        compiled = compile_rule_body(clause)
+        evaluate_rule_into(context, predicate, compiled)
+    return context.record_result_size(predicate)
+
+
+def compile_rules(rules: Iterable[Clause]) -> list[tuple[Clause, CompiledSelect]]:
+    """Compile several rules, pairing each with its SELECT."""
+    return [(clause, compile_rule_body(clause)) for clause in rules]

@@ -1,0 +1,137 @@
+"""Semi-naive (differential) LFP evaluation as an embedded-SQL program.
+
+Semi-naive evaluation computes, per iteration, only the *differential* of the
+right-hand sides: each recursive rule is re-run once per recursive body
+occurrence with that occurrence pointed at the previous iteration's delta
+relation (paper section 4, "the differential approach described in [12]").
+New tuples are separated from old ones with a set difference, become the next
+delta, and are unioned into the result.
+
+The phase names match :mod:`repro.runtime.naive` so Test 6 can compare the
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from ..datalog.pcg import Clique
+from ..dbms.schema import RelationSchema
+from ..dbms.sqlgen import compile_rule_body, copy_sql, insert_new_tuples_sql
+from .context import (
+    PHASE_RHS_EVAL,
+    PHASE_TEMP_TABLES,
+    PHASE_TERMINATION,
+    EvaluationContext,
+)
+from .naive import MAX_ITERATIONS, LfpResult
+
+
+def evaluate_clique_seminaive(
+    context: EvaluationContext, clique: Clique
+) -> LfpResult:
+    """Compute the least fixed point of ``clique`` by semi-naive iteration."""
+    predicates = sorted(clique.predicates)
+    database = context.database
+
+    with database.phase(PHASE_TEMP_TABLES):
+        for predicate in predicates:
+            context.materialise(predicate)
+            # Seed tuples (e.g. the magic seed fact) join the result before
+            # the exit-rule pass, so the first delta carries them too.
+            context.insert_seed_rows(predicate)
+
+    # Iteration 0: exit rules seed both the result and the first delta.
+    delta: dict[str, str] = {}
+    with database.phase(PHASE_TEMP_TABLES):
+        for predicate in predicates:
+            name = database.fresh_temp_name(f"delta_{predicate}")
+            schema = RelationSchema(name, context.types_of(predicate))
+            database.create_relation(schema, temporary=True)
+            delta[predicate] = name
+
+    with database.phase(PHASE_RHS_EVAL):
+        for clause in clique.exit_rules:
+            select = compile_rule_body(clause)
+            tables = [context.table_of(p) for p in select.table_slots]
+            sql = insert_new_tuples_sql(
+                context.table_of(clause.head_predicate),
+                select.render(tables),
+                clause.head.arity,
+            )
+            database.execute(sql, select.parameters)
+    with database.phase(PHASE_TEMP_TABLES):
+        for predicate in predicates:
+            database.execute(
+                copy_sql(
+                    delta[predicate],
+                    context.table_of(predicate),
+                    len(context.types_of(predicate)),
+                )
+            )
+
+    recursive = [(c, compile_rule_body(c)) for c in clique.recursive_rules]
+    iterations = 1  # the exit-rule pass counts as the first iteration
+    while iterations < MAX_ITERATIONS:
+        with database.phase(PHASE_TERMINATION):
+            empty = not any(database.row_count(delta[p]) for p in predicates)
+        if empty:
+            break
+        iterations += 1
+
+        new_delta: dict[str, str] = {}
+        with database.phase(PHASE_TEMP_TABLES):
+            for predicate in predicates:
+                name = database.fresh_temp_name(f"delta_{predicate}")
+                schema = RelationSchema(name, context.types_of(predicate))
+                database.create_relation(schema, temporary=True)
+                new_delta[predicate] = name
+
+        # Differential RHS: one pass per recursive occurrence, with that
+        # occurrence redirected to the delta relation.
+        with database.phase(PHASE_RHS_EVAL):
+            for clause, select in recursive:
+                for index, predicate in enumerate(select.positive_predicates):
+                    if predicate not in clique.predicates:
+                        continue
+                    tables = [
+                        delta[p] if j == index else context.table_of(p)
+                        for j, p in enumerate(select.table_slots)
+                    ]
+                    # EXCEPT against the full result keeps only new tuples —
+                    # still a set difference, but over the differential.
+                    sql = insert_new_tuples_sql(
+                        new_delta[clause.head_predicate],
+                        select.render(tables),
+                        clause.head.arity,
+                    )
+                    database.execute(sql, select.parameters)
+
+        # Strip already-known tuples from the delta and fold it in.  The
+        # DELETE implements delta := delta - result; the termination check
+        # then just counts the delta.
+        with database.phase(PHASE_TERMINATION):
+            for predicate in predicates:
+                arity = len(context.types_of(predicate))
+                columns = ", ".join(f"c{i}" for i in range(arity))
+                database.execute(
+                    f'DELETE FROM "{new_delta[predicate]}" WHERE ({columns}) IN '
+                    f'(SELECT {columns} FROM "{context.table_of(predicate)}")'
+                )
+        with database.phase(PHASE_TEMP_TABLES):
+            for predicate in predicates:
+                database.execute(
+                    copy_sql(
+                        context.table_of(predicate),
+                        new_delta[predicate],
+                        len(context.types_of(predicate)),
+                    )
+                )
+                database.drop_relation(delta[predicate])
+            delta = new_delta
+
+    with database.phase(PHASE_TEMP_TABLES):
+        for predicate in predicates:
+            database.drop_relation(delta[predicate])
+
+    sizes = {p: context.record_result_size(p) for p in predicates}
+    context.counters.iterations_by_clique["+".join(predicates)] = iterations
+    return LfpResult(iterations, sizes)

@@ -1,0 +1,17 @@
+"""The User Interface component (paper Figure 5).
+
+A line-oriented interactive session over a :class:`~repro.km.session.Testbed`:
+Horn clause entry, queries, and session commands, plus the ``python -m repro``
+entry point.
+"""
+
+from .commands import HELP_TEXT, CommandInterpreter, SessionState
+from .repl import main, run_repl
+
+__all__ = [
+    "CommandInterpreter",
+    "HELP_TEXT",
+    "SessionState",
+    "main",
+    "run_repl",
+]

@@ -1,0 +1,92 @@
+"""The interactive read-eval-print loop of the User Interface.
+
+Wraps :class:`~repro.ui.commands.CommandInterpreter` with line buffering
+(clauses may span lines until their terminating ``.``) and stream handling.
+``python -m repro`` lands here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from ..km.session import Testbed
+from .commands import CONTINUATION_PROMPT, PROMPT, CommandInterpreter
+
+BANNER = """\
+D/KBMS testbed — reproduction of Ramnarayan & Lu, SIGMOD 1988
+Type Horn clauses, '?- goal(...).' queries, or :help for commands."""
+
+
+def run_repl(
+    testbed: Testbed,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    interactive: bool = True,
+) -> int:
+    """Drive the interpreter over ``input_stream`` until EOF or ``:quit``.
+
+    Returns a process exit code (0 on a clean exit).
+    """
+    interpreter = CommandInterpreter(testbed)
+    if interactive:
+        print(BANNER, file=output_stream)
+    buffer = ""
+    while not interpreter.finished:
+        if interactive:
+            prompt = CONTINUATION_PROMPT if buffer else PROMPT
+            output_stream.write(prompt)
+            output_stream.flush()
+        line = input_stream.readline()
+        if not line:
+            break
+        buffer = f"{buffer}\n{line}" if buffer else line
+        if interpreter.needs_continuation(buffer):
+            continue
+        response = interpreter.execute(buffer)
+        buffer = ""
+        if response:
+            print(response, file=output_stream)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive D/KBMS testbed session.",
+    )
+    parser.add_argument(
+        "database",
+        nargs="?",
+        default=":memory:",
+        help="SQLite database path for the stored D/KB (default: in-memory)",
+    )
+    parser.add_argument(
+        "--source-only",
+        action="store_true",
+        help="store rules in source form only (no compiled reachablepreds)",
+    )
+    parser.add_argument(
+        "--load",
+        metavar="FILE",
+        action="append",
+        default=[],
+        help="read clauses from FILE before the session starts",
+    )
+    arguments = parser.parse_args(argv)
+
+    with Testbed(
+        arguments.database,
+        compiled_rule_storage=not arguments.source_only,
+    ) as testbed:
+        for path in arguments.load:
+            with open(path) as handle:
+                testbed.define(handle.read())
+        interactive = sys.stdin.isatty()
+        return run_repl(testbed, sys.stdin, sys.stdout, interactive)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

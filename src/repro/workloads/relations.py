@@ -1,0 +1,256 @@
+"""Synthetic base relations characterised as directed graphs (paper §5.2).
+
+A binary relation is a directed graph: domain elements are nodes, tuples are
+edges.  The paper's experiments use four relation types — lists, full binary
+trees, directed acyclic graphs, and directed cyclic graphs — parameterised as
+in its Table 2.  The tuple-count formulas it states are asserted by tests:
+
+* ``n`` lists of length ``l``: ``n * (l - 1)`` tuples;
+* ``n`` full binary trees of depth ``d``: ``n * (2**d - 2)`` tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import WorkloadError
+
+Edge = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class GeneratedRelation:
+    """A generated binary relation plus its graph-level description."""
+
+    kind: str
+    edges: tuple[Edge, ...]
+    parameters: dict
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of tuples (edges)."""
+        return len(self.edges)
+
+    @property
+    def nodes(self) -> set[str]:
+        """All domain elements."""
+        out: set[str] = set()
+        for source, target in self.edges:
+            out.add(source)
+            out.add(target)
+        return out
+
+
+def lists(count: int, length: int, prefix: str = "l") -> GeneratedRelation:
+    """``count`` disjoint lists, each of ``length`` nodes.
+
+    Tuple count is ``count * (length - 1)`` (paper Table 2).
+
+    Raises:
+        WorkloadError: for non-positive parameters or length < 2.
+    """
+    if count <= 0 or length < 2:
+        raise WorkloadError(
+            f"lists requires count >= 1 and length >= 2, got {count}, {length}"
+        )
+    edges: list[Edge] = []
+    for index in range(count):
+        names = [f"{prefix}{index}_{j}" for j in range(length)]
+        edges.extend(zip(names, names[1:]))
+    return GeneratedRelation(
+        "list", tuple(edges), {"count": count, "length": length}
+    )
+
+
+def tree_node(prefix: str, index: int) -> str:
+    """Name of heap-indexed tree node ``index`` (root is 1)."""
+    return f"{prefix}{index}"
+
+
+def full_binary_trees(
+    count: int, depth: int, prefix: str = "t"
+) -> GeneratedRelation:
+    """``count`` full binary trees of ``depth`` levels.
+
+    A tree of depth ``d`` has ``2**d - 1`` nodes and ``2**d - 2`` edges, so
+    the tuple count is ``count * (2**d - 2)`` (paper Table 2).  Nodes are
+    heap-indexed: node ``i``'s children are ``2i`` and ``2i+1``; use
+    :func:`tree_node` / :func:`subtree_size` to pick query roots with a known
+    number of descendants.
+
+    Raises:
+        WorkloadError: for non-positive counts or depth < 2.
+    """
+    if count <= 0 or depth < 2:
+        raise WorkloadError(
+            f"trees require count >= 1 and depth >= 2, got {count}, {depth}"
+        )
+    edges: list[Edge] = []
+    for tree in range(count):
+        tree_prefix = f"{prefix}{tree}_" if count > 1 else prefix
+        for parent in range(1, 2 ** (depth - 1)):
+            edges.append(
+                (tree_node(tree_prefix, parent), tree_node(tree_prefix, 2 * parent))
+            )
+            edges.append(
+                (
+                    tree_node(tree_prefix, parent),
+                    tree_node(tree_prefix, 2 * parent + 1),
+                )
+            )
+    return GeneratedRelation(
+        "full_binary_tree", tuple(edges), {"count": count, "depth": depth}
+    )
+
+
+def subtree_size(depth: int, node_level: int) -> int:
+    """Descendant count of a node at ``node_level`` in a depth-``depth`` tree.
+
+    Level 1 is the root.  The subtree below a level-``k`` node has
+    ``2**(depth - k + 1) - 1`` nodes, hence that minus one descendants.
+    """
+    if not 1 <= node_level <= depth:
+        raise WorkloadError(
+            f"node level must be within 1..{depth}, got {node_level}"
+        )
+    return 2 ** (depth - node_level + 1) - 2
+
+
+def first_node_at_level(level: int) -> int:
+    """Heap index of the left-most node at ``level`` (root level is 1)."""
+    return 2 ** (level - 1)
+
+
+def random_dag(
+    tuple_count: int,
+    path_length: int,
+    fan_out: int = 2,
+    seed: int = 0,
+    prefix: str = "g",
+) -> GeneratedRelation:
+    """A layered random DAG (paper Table 2's acyclic graph).
+
+    Nodes are arranged in ``path_length`` layers; every edge goes from layer
+    ``i`` to layer ``i+1``, so the longest path visits ``path_length`` nodes.
+    Average fan-out is controlled by the layer width
+    ``tuple_count / ((path_length - 1) * fan_out)``.
+
+    Raises:
+        WorkloadError: for parameters that cannot produce the requested
+            tuple count.
+    """
+    if path_length < 2 or tuple_count < path_length - 1 or fan_out < 1:
+        raise WorkloadError(
+            "random_dag requires path_length >= 2, fan_out >= 1, and "
+            f"tuple_count >= path_length - 1; got {tuple_count}, "
+            f"{path_length}, {fan_out}"
+        )
+    rng = random.Random(seed)
+    per_layer = max(1, round(tuple_count / ((path_length - 1) * fan_out)))
+    layers = [
+        [f"{prefix}{level}_{i}" for i in range(per_layer)]
+        for level in range(path_length)
+    ]
+    edges: set[Edge] = set()
+    # Guarantee connectivity layer to layer, then fill to the tuple budget.
+    for level in range(path_length - 1):
+        for node in layers[level]:
+            edges.add((node, rng.choice(layers[level + 1])))
+    attempts = 0
+    max_possible = (path_length - 1) * per_layer * per_layer
+    target = min(tuple_count, max_possible)
+    while len(edges) < target and attempts < 50 * tuple_count:
+        attempts += 1
+        level = rng.randrange(path_length - 1)
+        edges.add(
+            (rng.choice(layers[level]), rng.choice(layers[level + 1]))
+        )
+    return GeneratedRelation(
+        "dag",
+        tuple(sorted(edges)),
+        {
+            "tuple_count": tuple_count,
+            "path_length": path_length,
+            "fan_out": fan_out,
+            "seed": seed,
+        },
+    )
+
+
+def random_cyclic_graph(
+    tuple_count: int,
+    path_length: int,
+    cycle_count: int,
+    cycle_length: int = 3,
+    fan_out: int = 2,
+    seed: int = 0,
+    prefix: str = "c",
+) -> GeneratedRelation:
+    """A directed cyclic graph: a layered DAG plus back edges forming cycles.
+
+    ``cycle_count`` back edges are added, each from a layer-``i`` node to a
+    node ``cycle_length - 1`` layers earlier, closing cycles of roughly
+    ``cycle_length`` nodes (paper Table 2's cyclic parameters).
+
+    Raises:
+        WorkloadError: when the cycle length exceeds the path length.
+    """
+    if cycle_length < 2 or cycle_length > path_length:
+        raise WorkloadError(
+            f"cycle_length must be within 2..path_length, got {cycle_length}"
+        )
+    base = random_dag(
+        max(tuple_count - cycle_count, path_length - 1),
+        path_length,
+        fan_out,
+        seed,
+        prefix,
+    )
+    rng = random.Random(seed + 1)
+    by_layer: dict[int, list[str]] = {}
+    for node in base.nodes:
+        layer = int(node[len(prefix):].split("_")[0])
+        by_layer.setdefault(layer, []).append(node)
+    for nodes in by_layer.values():
+        nodes.sort()
+    edges = set(base.edges)
+    added = 0
+    attempts = 0
+    while added < cycle_count and attempts < 100 * max(cycle_count, 1):
+        attempts += 1
+        high = rng.randrange(cycle_length - 1, path_length)
+        low = high - (cycle_length - 1)
+        edge = (rng.choice(by_layer[high]), rng.choice(by_layer[low]))
+        if edge not in edges:
+            edges.add(edge)
+            added += 1
+    return GeneratedRelation(
+        "cyclic",
+        tuple(sorted(edges)),
+        {
+            "tuple_count": tuple_count,
+            "path_length": path_length,
+            "cycle_count": cycle_count,
+            "cycle_length": cycle_length,
+            "fan_out": fan_out,
+            "seed": seed,
+        },
+    )
+
+
+def iter_descendants(relation: GeneratedRelation, root: str) -> Iterator[str]:
+    """All nodes reachable from ``root`` (the true answer of ``ancestor``)."""
+    successors: dict[str, list[str]] = {}
+    for source, target in relation.edges:
+        successors.setdefault(source, []).append(target)
+    seen: set[str] = set()
+    frontier = list(successors.get(root, ()))
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        yield node
+        frontier.extend(successors.get(node, ()))

@@ -1,0 +1,205 @@
+"""Synthetic rule bases for the compilation and update experiments.
+
+Tests 1-3, 8, and 9 vary the total number of stored rules (``R_s``), the
+rules relevant to a query (``R_rs``), the stored derived predicates
+(``P_s``), and the predicates relevant to the query (``P_rs``).  The paper
+does not publish its rule sets, only those counts, so this generator builds
+rule bases as a collection of independent *modules*: each module is a chain
+of derived predicates over its own base relation, and a query against a
+module's root predicate is relevant to exactly that module's rules.
+
+Module shape (``chain_length`` predicates, ``rules_per_predicate`` bodies)::
+
+    p_m_0(X, Y) :- p_m_1(X, Z), base_m(Z, Y).     (variant 0)
+    p_m_0(X, Y) :- base_m(X, Z), p_m_1(Z, Y).     (variant 1)
+    ...
+    p_m_last(X, Y) :- base_m(X, Y).
+
+so ``R_rs = (chain_length - 1) * rules_per_predicate + 1`` and
+``P_rs = chain_length`` for a query on ``p_m_0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.clauses import Clause, Program
+from ..datalog.parser import parse_clause
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class RuleModule:
+    """One independent module of a synthetic rule base."""
+
+    name: str
+    rules: tuple[Clause, ...]
+    root_predicate: str
+    base_predicate: str
+    predicates: tuple[str, ...]
+
+    @property
+    def rule_count(self) -> int:
+        """Rules in the module."""
+        return len(self.rules)
+
+
+def make_module(
+    name: str,
+    chain_length: int,
+    rules_per_predicate: int = 1,
+    recursive: bool = False,
+) -> RuleModule:
+    """Build one module.
+
+    Args:
+        name: module identifier used to prefix all predicate names.
+        chain_length: derived predicates in the chain (``P_rs`` per query).
+        rules_per_predicate: alternative bodies per non-terminal predicate.
+        recursive: make the terminal predicate self-recursive (an ancestor-
+            style pair of rules), so the module's PCG has a cycle — matching
+            D/KBs whose stored rules contain recursion.  Adds one rule to
+            the module.
+
+    Raises:
+        WorkloadError: for non-positive parameters.
+    """
+    if chain_length < 1 or rules_per_predicate < 1:
+        raise WorkloadError(
+            "module requires chain_length >= 1 and rules_per_predicate >= 1"
+        )
+    base = f"base_{name}"
+    predicates = [f"p_{name}_{i}" for i in range(chain_length)]
+    rules: list[Clause] = []
+    for index in range(chain_length - 1):
+        head = predicates[index]
+        next_predicate = predicates[index + 1]
+        for variant in range(rules_per_predicate):
+            if variant % 2 == 0:
+                text = f"{head}(X, Y) :- {next_predicate}(X, Z{variant}), {base}(Z{variant}, Y)."
+            else:
+                text = f"{head}(X, Y) :- {base}(X, Z{variant}), {next_predicate}(Z{variant}, Y)."
+            rules.append(parse_clause(text))
+    terminal = predicates[-1]
+    rules.append(parse_clause(f"{terminal}(X, Y) :- {base}(X, Y)."))
+    if recursive:
+        rules.append(
+            parse_clause(f"{terminal}(X, Y) :- {base}(X, Z), {terminal}(Z, Y).")
+        )
+    return RuleModule(name, tuple(rules), predicates[0], base, tuple(predicates))
+
+
+@dataclass(frozen=True)
+class SyntheticRuleBase:
+    """A full rule base: one query module plus filler modules."""
+
+    program: Program
+    query_module: RuleModule
+    filler_modules: tuple[RuleModule, ...]
+
+    @property
+    def total_rules(self) -> int:
+        """The paper's ``R_s``."""
+        return len(self.program.rules)
+
+    @property
+    def relevant_rules(self) -> int:
+        """The paper's ``R_rs`` for a query on the query module's root."""
+        return self.query_module.rule_count
+
+    @property
+    def total_predicates(self) -> int:
+        """The paper's ``P_s``."""
+        return len(self.program.derived_predicates)
+
+    @property
+    def relevant_predicates(self) -> int:
+        """The paper's ``P_rs`` for a query on the query module's root."""
+        return len(self.query_module.predicates)
+
+    @property
+    def base_predicates(self) -> list[str]:
+        """All base relations the rule base references."""
+        names = [self.query_module.base_predicate]
+        names.extend(m.base_predicate for m in self.filler_modules)
+        return names
+
+    def query_text(self, constant: str = "a") -> str:
+        """An ancestor-style query bound on the query module's root."""
+        return f"?- {self.query_module.root_predicate}('{constant}', Y)."
+
+
+def make_rule_base(
+    total_rules: int,
+    relevant_rules: int,
+    relevant_predicates: int | None = None,
+    filler_chain_length: int = 5,
+) -> SyntheticRuleBase:
+    """A rule base with exact ``R_s`` and ``R_rs``.
+
+    Args:
+        total_rules: total stored rules ``R_s``.
+        relevant_rules: rules relevant to the canonical query ``R_rs``.
+        relevant_predicates: derived predicates in the query module ``P_rs``
+            (default: one per relevant rule, i.e. a pure chain).
+        filler_chain_length: chain length of the filler modules.
+
+    Raises:
+        WorkloadError: when the counts are inconsistent (e.g. ``R_rs``
+            exceeding ``R_s`` or incompatible with ``P_rs``).
+    """
+    if relevant_rules < 1 or total_rules < relevant_rules:
+        raise WorkloadError(
+            f"need 1 <= relevant_rules <= total_rules, got "
+            f"{relevant_rules}, {total_rules}"
+        )
+    if relevant_predicates is None:
+        relevant_predicates = relevant_rules
+    if relevant_predicates < 1:
+        raise WorkloadError("relevant_predicates must be >= 1")
+    if relevant_predicates == 1:
+        if relevant_rules != 1:
+            raise WorkloadError(
+                "a single-predicate module has exactly one rule"
+            )
+        rules_per_predicate = 1
+    else:
+        extra = relevant_rules - 1
+        if extra % (relevant_predicates - 1):
+            raise WorkloadError(
+                f"cannot spread {relevant_rules} rules over "
+                f"{relevant_predicates} chained predicates evenly"
+            )
+        rules_per_predicate = extra // (relevant_predicates - 1)
+    query_module = make_module("q", relevant_predicates, rules_per_predicate)
+    if query_module.rule_count != relevant_rules:
+        raise WorkloadError(
+            f"module construction yielded {query_module.rule_count} rules, "
+            f"wanted {relevant_rules}"
+        )
+
+    fillers: list[RuleModule] = []
+    remaining = total_rules - relevant_rules
+    index = 0
+    while remaining > 0:
+        length = min(filler_chain_length, remaining)
+        fillers.append(make_module(f"f{index}", length))
+        remaining -= length
+        index += 1
+
+    program = Program(query_module.rules)
+    for module in fillers:
+        program.extend(module.rules)
+    return SyntheticRuleBase(program, query_module, tuple(fillers))
+
+
+def make_predicate_pool(
+    total_predicates: int, relevant_predicates: int
+) -> SyntheticRuleBase:
+    """A rule base sized by predicate counts (Test 2 varies ``P_s``/``P_rs``).
+
+    One rule per predicate, so ``R_s = P_s`` and ``R_rs = P_rs``.
+    """
+    return make_rule_base(
+        total_predicates, relevant_predicates, relevant_predicates
+    )

@@ -1,0 +1,140 @@
+"""Unit tests for adornments and sideways information passing."""
+
+import pytest
+
+from repro.datalog.adornment import (
+    adorn_program,
+    adorned_name,
+    adornment_of,
+    bound_terms,
+    reorder_body_for_sip,
+    split_adorned_name,
+)
+from repro.datalog.parser import parse_clause, parse_program, parse_query
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.errors import OptimizationError
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestAdornmentStrings:
+    def test_constants_are_bound(self):
+        atom = Atom("p", (Constant("a"), X))
+        assert adornment_of(atom, set()) == "bf"
+
+    def test_bound_variables(self):
+        atom = Atom("p", (X, Y))
+        assert adornment_of(atom, {X}) == "bf"
+        assert adornment_of(atom, {X, Y}) == "bb"
+
+    def test_name_round_trip(self):
+        name = adorned_name("ancestor", "bf")
+        assert name == "ancestor__bf"
+        assert split_adorned_name(name) == ("ancestor", "bf")
+
+    def test_split_rejects_plain_names(self):
+        with pytest.raises(ValueError):
+            split_adorned_name("ancestor")
+        with pytest.raises(ValueError):
+            split_adorned_name("p__base")
+
+    def test_bound_terms(self):
+        atom = Atom("p", (Constant("a"), X, Y))
+        assert bound_terms(atom, "bfb") == (Constant("a"), Y)
+
+    def test_bound_terms_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bound_terms(Atom("p", (X,)), "bf")
+
+
+ANCESTOR = parse_program(
+    "ancestor(X, Y) :- parent(X, Y)."
+    "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y)."
+)
+
+
+class TestAdornProgram:
+    def test_left_linear_ancestor_bf(self):
+        query = parse_query("?- ancestor('john', X).")
+        adorned = adorn_program(ANCESTOR, query, {"ancestor"})
+        assert adorned.query_goal.predicate == "ancestor__bf"
+        assert adorned.adornments == {"ancestor": {"bf"}}
+        heads = {c.head_predicate for c in adorned.rules}
+        assert heads == {"ancestor__bf"}
+
+    def test_sip_binds_through_earlier_atoms(self):
+        # In the recursive rule the head binds X; parent(X, Z) then binds Z,
+        # so the recursive call is ancestor^{bf}(Z, Y).
+        query = parse_query("?- ancestor('john', X).")
+        adorned = adorn_program(ANCESTOR, query, {"ancestor"})
+        recursive = [
+            c for c in adorned.rules if len(c.body) == 2
+        ][0]
+        assert recursive.body[1].predicate == "ancestor__bf"
+
+    def test_free_query_gives_ff(self):
+        query = parse_query("?- ancestor(X, Y).")
+        adorned = adorn_program(ANCESTOR, query, {"ancestor"})
+        assert adorned.query_goal.predicate == "ancestor__ff"
+        # With an ff head, Z is still bound sideways by parent(X, Z):
+        # the recursive occurrence is adorned bf.
+        assert "bf" in adorned.adornments["ancestor"]
+
+    def test_right_linear_second_argument_bound(self):
+        program = parse_program(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- anc(X, Z), par(Z, Y)."
+        )
+        query = parse_query("?- anc('a', Y).")
+        adorned = adorn_program(program, query, {"anc"})
+        assert adorned.adornments["anc"] == {"bf"}
+
+    def test_multiple_adornments_generated(self):
+        # anc is called bf from the query and fb from the helper.
+        program = parse_program(
+            "anc(X, Y) :- par(X, Y)."
+            "anc(X, Y) :- par(X, Z), anc(Z, Y)."
+            "rev(X, Y) :- anc(Y, X)."
+        )
+        query = parse_query("?- rev('a', Y).")
+        adorned = adorn_program(program, query, {"anc", "rev"})
+        assert adorned.adornments["rev"] == {"bf"}
+        # anc is entered with fb from rev; inside the recursive rule the
+        # sideways pass then binds the first argument too, yielding bb.
+        assert adorned.adornments["anc"] == {"fb", "bb"}
+
+    def test_multi_goal_query_rejected(self):
+        query = parse_query("?- ancestor('a', X), ancestor(X, Y).")
+        with pytest.raises(OptimizationError):
+            adorn_program(ANCESTOR, query, {"ancestor"})
+
+    def test_base_goal_rejected(self):
+        query = parse_query("?- parent('a', X).")
+        with pytest.raises(OptimizationError):
+            adorn_program(ANCESTOR, query, {"ancestor"})
+
+    def test_base_predicates_not_renamed(self):
+        query = parse_query("?- ancestor('john', X).")
+        adorned = adorn_program(ANCESTOR, query, {"ancestor"})
+        for clause in adorned.rules:
+            for atom in clause.body:
+                if atom.predicate.startswith("parent"):
+                    assert atom.predicate == "parent"
+
+
+class TestSipReordering:
+    def test_bound_atoms_move_first(self):
+        clause = parse_clause("p(X) :- r(Y, Z), q(X, Y).")
+        reordered = reorder_body_for_sip(clause, [X])
+        assert reordered.body[0].predicate == "q"
+        assert reordered.body[1].predicate == "r"
+
+    def test_constant_atoms_score(self):
+        clause = parse_clause("p(X) :- r(Y), q('a', Y), s(X, Y).")
+        reordered = reorder_body_for_sip(clause, [X])
+        # s shares X with the head; q has a constant — both beat bare r.
+        assert reordered.body[-1].predicate == "r"
+
+    def test_reordering_preserves_atoms(self):
+        clause = parse_clause("p(X) :- a(X), b(X), c(X).")
+        reordered = reorder_body_for_sip(clause, [])
+        assert sorted(a.predicate for a in reordered.body) == ["a", "b", "c"]

@@ -1,0 +1,160 @@
+"""Unit tests for clauses, queries, and programs."""
+
+import pytest
+
+from repro.datalog.clauses import Clause, Program, Query, fact
+from repro.datalog.parser import parse_clause, parse_program
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.errors import ArityError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestClause:
+    def test_fact_detection(self):
+        assert fact("parent", "john", "mary").is_fact
+        assert not parse_clause("p(X) :- q(X).").is_fact
+
+    def test_headless_variable_clause_is_rule_not_fact(self):
+        clause = Clause(Atom("p", (X,)))
+        assert clause.is_rule  # has a variable, so not a ground fact
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError):
+            Clause(Atom("p", (X,), negated=True))
+
+    def test_str_round_trips_through_parser(self):
+        clause = parse_clause("p(X, Y) :- q(X, Z), r(Z, Y).")
+        assert parse_clause(str(clause)) == clause
+
+    def test_variables_head_first(self):
+        clause = parse_clause("p(Y, X) :- q(X, Z).")
+        assert clause.variables == (Y, X, Z)
+
+    def test_body_predicates_with_duplicates(self):
+        clause = parse_clause("p(X) :- q(X), q(X), r(X).")
+        assert clause.body_predicates == ("q", "q", "r")
+
+    def test_substitute(self):
+        clause = parse_clause("p(X) :- q(X, Y).")
+        ground = clause.substitute({X: Constant("a"), Y: Constant("b")})
+        assert str(ground) == "p('a') :- q('a', 'b')."
+
+    def test_rename_apart_is_consistent(self):
+        clause = parse_clause("p(X, Y) :- q(Y, X).")
+        renamed = clause.rename_apart("_7")
+        assert renamed.head.terms == (Variable("X_7"), Variable("Y_7"))
+        assert renamed.body[0].terms == (Variable("Y_7"), Variable("X_7"))
+
+    def test_range_restriction(self):
+        assert parse_clause("p(X) :- q(X).").is_range_restricted()
+        assert not parse_clause("p(X, Y) :- q(X).").is_range_restricted()
+
+
+class TestQuery:
+    def test_requires_goals(self):
+        with pytest.raises(ValueError):
+            Query(())
+
+    def test_default_answer_variables_in_occurrence_order(self):
+        query = Query((Atom("p", (Y, X)), Atom("q", (X, Z))))
+        assert query.answer_variables == (Y, X, Z)
+
+    def test_explicit_answer_variables_must_be_bound(self):
+        with pytest.raises(ValueError):
+            Query((Atom("p", (X,)),), (Y,))
+
+    def test_as_clause(self):
+        query = Query((Atom("p", (Constant("a"), X)),))
+        clause = query.as_clause()
+        assert clause.head.predicate == Query.ANSWER_PREDICATE
+        assert clause.head.terms == (X,)
+
+    def test_predicates(self):
+        query = Query((Atom("p", (X,)), Atom("q", (X,))))
+        assert query.predicates == ("p", "q")
+
+
+class TestProgram:
+    def test_deduplicates(self):
+        program = Program()
+        clause = parse_clause("p(X) :- q(X).")
+        assert program.add(clause)
+        assert not program.add(clause)
+        assert len(program) == 1
+
+    def test_preserves_entry_order(self):
+        program = parse_program("a(X) :- b(X). c(X) :- d(X).")
+        assert [c.head_predicate for c in program] == ["a", "c"]
+
+    def test_arity_conflict_rejected(self):
+        program = Program()
+        program.add(parse_clause("p(X) :- q(X)."))
+        with pytest.raises(ArityError):
+            program.add(parse_clause("p(X, Y) :- q(X)."))
+
+    def test_arity_conflict_in_body_rejected(self):
+        program = Program()
+        program.add(parse_clause("p(X) :- q(X)."))
+        with pytest.raises(ArityError):
+            program.add(parse_clause("r(X) :- q(X, X)."))
+
+    def test_defining(self):
+        program = parse_program(
+            "p(X) :- q(X). p(X) :- r(X). s(X) :- p(X)."
+        )
+        assert len(program.defining("p")) == 2
+        assert program.defining("missing") == []
+
+    def test_derived_and_base_predicates(self):
+        program = parse_program("p(X) :- q(X). q(a).")
+        assert program.derived_predicates == {"p"}
+        assert "q" in program.base_predicates
+
+    def test_restricted_to(self):
+        program = parse_program("p(X) :- q(X). r(X) :- s(X).")
+        restricted = program.restricted_to({"p"})
+        assert [c.head_predicate for c in restricted] == ["p"]
+
+    def test_rules_and_facts_split(self):
+        program = parse_program("p(a). q(X) :- p(X).")
+        assert len(program.facts) == 1
+        assert len(program.rules) == 1
+
+    def test_equality_is_set_like(self):
+        one = parse_program("a(X) :- b(X). c(X) :- d(X).")
+        two = parse_program("c(X) :- d(X). a(X) :- b(X).")
+        assert one == two
+
+
+class TestNormalized:
+    def test_pure_program_unchanged(self):
+        program = parse_program("p(X) :- q(X). q(a).")
+        assert program.normalized() is program
+
+    def test_mixed_predicate_split(self):
+        program = parse_program("p(a, b). p(X, Y) :- q(X, Y).")
+        normalized = program.normalized()
+        heads = {c.head_predicate for c in normalized}
+        assert "p__base" in heads
+        # p is now purely derived: its facts moved to p__base.
+        facts = [c for c in normalized if c.is_fact]
+        assert all(c.head_predicate == "p__base" for c in facts)
+        # A bridging rule keeps the semantics.
+        bridge = [
+            c
+            for c in normalized.rules
+            if c.head_predicate == "p"
+            and c.body_predicates == ("p__base",)
+        ]
+        assert len(bridge) == 1
+
+    def test_bridge_added_once(self):
+        program = parse_program(
+            "p(a). p(b). p(X) :- q(X). q(c)."
+        )
+        normalized = program.normalized()
+        bridges = [
+            c for c in normalized.rules if c.body_predicates == ("p__base",)
+        ]
+        assert len(bridges) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the evaluation graph and evaluation order list."""
+
+import pytest
+
+from repro.datalog.evalgraph import (
+    PredicateNode,
+    build_evaluation_graph,
+    evaluation_order,
+    evaluation_order_list,
+    relevant_rules,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.pcg import Clique
+
+FIGURE_1 = """
+p(X, Y) :- p1(X, Z), q(Z, Y).
+p(X, Y) :- b1(X, Y).
+p1(X, Y) :- b2(X, Z), p1(Z, Y).
+p1(X, Y) :- b2(X, Y).
+p2(X, Y) :- b1(X, Z), p2(Z, Y).
+q(X, Y) :- p(X, Y), p2(X, Y).
+"""
+
+
+class TestBuildGraph:
+    def test_nodes_cover_all_derived_predicates(self):
+        program = parse_program(FIGURE_1)
+        graph = build_evaluation_graph(program)
+        covered = set()
+        for node in graph.nodes:
+            covered.update(node.predicates)
+        assert covered == {"p", "q", "p1", "p2"}
+
+    def test_base_predicates_absent(self):
+        program = parse_program(FIGURE_1)
+        graph = build_evaluation_graph(program)
+        for node in graph.nodes:
+            assert "b1" not in node.predicates
+            assert "b2" not in node.predicates
+
+    def test_mixed_clique_and_predicate_nodes(self):
+        program = parse_program(
+            """
+            r(X, Y) :- e(X, Y).
+            r(X, Y) :- e(X, Z), r(Z, Y).
+            view(X) :- r(X, X).
+            """
+        )
+        graph = build_evaluation_graph(program)
+        kinds = {type(node) for node in graph.nodes}
+        assert kinds == {Clique, PredicateNode}
+
+    def test_edges_follow_dependencies(self):
+        program = parse_program(FIGURE_1)
+        graph = build_evaluation_graph(program)
+        index_of = {}
+        for index, node in enumerate(graph.nodes):
+            for predicate in node.predicates:
+                index_of[predicate] = index
+        # The p/q clique depends on the p1 and p2 cliques.
+        assert (index_of["p"], index_of["p1"]) in graph.edges
+        assert (index_of["p"], index_of["p2"]) in graph.edges
+
+    def test_dependencies_and_dependents(self):
+        program = parse_program("a(X) :- b(X). b(X) :- c(X).")
+        graph = build_evaluation_graph(program)
+        index_of = {
+            next(iter(node.predicates)): i for i, node in enumerate(graph.nodes)
+        }
+        assert graph.dependencies_of(index_of["a"]) == {index_of["b"]}
+        assert graph.dependents_of(index_of["b"]) == {index_of["a"]}
+
+
+class TestEvaluationOrder:
+    def test_dependencies_first(self):
+        program = parse_program(FIGURE_1)
+        order = evaluation_order_list(program)
+        position = {}
+        for index, node in enumerate(order):
+            for predicate in node.predicates:
+                position[predicate] = index
+        assert position["p1"] < position["p"]
+        assert position["p2"] < position["p"]
+        assert position["p"] == position["q"]  # same clique node
+
+    def test_deterministic(self):
+        program = parse_program(FIGURE_1)
+        one = [tuple(sorted(n.predicates)) for n in evaluation_order_list(program)]
+        two = [tuple(sorted(n.predicates)) for n in evaluation_order_list(program)]
+        assert one == two
+
+    def test_covers_every_node(self):
+        program = parse_program(FIGURE_1)
+        graph = build_evaluation_graph(program)
+        order = evaluation_order(graph)
+        assert len(order) == len(graph.nodes)
+
+    def test_empty_program(self):
+        assert evaluation_order_list(parse_program("")) == []
+
+    def test_long_chain_order(self):
+        text = "".join(f"p{i}(X) :- p{i + 1}(X).\n" for i in range(10))
+        text += "p10(X) :- base(X).\n"
+        order = evaluation_order_list(parse_program(text))
+        names = [next(iter(n.predicates)) for n in order]
+        assert names == [f"p{i}" for i in range(10, -1, -1)]
+
+
+class TestRelevantRules:
+    def test_restricts_to_reachable(self):
+        program = parse_program(
+            """
+            wanted(X) :- helper(X).
+            helper(X) :- base(X).
+            unrelated(X) :- other(X).
+            """
+        )
+        relevant = relevant_rules(program, ["wanted"])
+        heads = {c.head_predicate for c in relevant}
+        assert heads == {"wanted", "helper"}
+
+    def test_includes_reachable_facts(self):
+        program = parse_program("p(X) :- q(X). q(a).")
+        relevant = relevant_rules(program, ["p"])
+        assert len(relevant.facts) == 1
+
+    def test_goal_on_base_predicate(self):
+        program = parse_program("p(X) :- q(X).")
+        relevant = relevant_rules(program, ["q"])
+        assert len(relevant) == 0

@@ -1,0 +1,121 @@
+"""Tests for the evaluation-order enumeration (paper section 2.3's choice)."""
+
+from repro.datalog.evalgraph import (
+    all_evaluation_orders,
+    build_evaluation_graph,
+    evaluation_order,
+)
+from repro.datalog.parser import parse_program
+
+# The paper's Figure 4 situation: C1 (p/q) depends on C2 (p1) and C3 (p2),
+# which are independent of each other -> two valid orders.
+FIGURE_4 = parse_program(
+    """
+    p(X, Y) :- p1(X, Z), q(Z, Y).
+    p(X, Y) :- b1(X, Y).
+    p1(X, Y) :- b2(X, Z), p1(Z, Y).
+    p1(X, Y) :- b2(X, Y).
+    p2(X, Y) :- b1(X, Z), p2(Z, Y).
+    q(X, Y) :- p(X, Y), p2(X, Y).
+    """
+)
+
+
+class TestEnumeration:
+    def test_figure4_has_two_orders(self):
+        graph = build_evaluation_graph(FIGURE_4)
+        orders = all_evaluation_orders(graph)
+        assert len(orders) == 2
+        as_names = [
+            ["+".join(sorted(node.predicates)) for node in order]
+            for order in orders
+        ]
+        assert ["p1", "p2", "p+q"] in as_names
+        assert ["p2", "p1", "p+q"] in as_names
+
+    def test_every_order_is_valid(self):
+        graph = build_evaluation_graph(FIGURE_4)
+        for order in all_evaluation_orders(graph):
+            position = {}
+            for index, node in enumerate(order):
+                for predicate in node.predicates:
+                    position[predicate] = index
+            for node_index, dep_index in graph.edges:
+                node_pred = next(iter(graph.nodes[node_index].predicates))
+                dep_pred = next(iter(graph.nodes[dep_index].predicates))
+                assert position[dep_pred] < position[node_pred]
+
+    def test_default_order_is_among_them(self):
+        graph = build_evaluation_graph(FIGURE_4)
+        default = evaluation_order(graph)
+        names = lambda order: [tuple(sorted(n.predicates)) for n in order]
+        assert names(default) in [
+            names(order) for order in all_evaluation_orders(graph)
+        ]
+
+    def test_chain_has_single_order(self):
+        program = parse_program("a(X) :- b(X). b(X) :- c(X).")
+        graph = build_evaluation_graph(program)
+        assert len(all_evaluation_orders(graph)) == 1
+
+    def test_independent_nodes_factorial(self):
+        program = parse_program(
+            "a(X) :- e(X). b(X) :- e(X). c(X) :- e(X)."
+        )
+        graph = build_evaluation_graph(program)
+        assert len(all_evaluation_orders(graph)) == 6
+
+    def test_limit_respected(self):
+        program = parse_program(
+            "".join(f"p{i}(X) :- e(X)." for i in range(6))
+        )
+        graph = build_evaluation_graph(program)
+        orders = all_evaluation_orders(graph, limit=10)
+        assert len(orders) == 10
+
+    def test_empty_graph(self):
+        graph = build_evaluation_graph(parse_program(""))
+        assert all_evaluation_orders(graph) == [[]]
+
+
+class TestOrderIndependence:
+    def test_all_orders_give_identical_answers(self):
+        """The open optimization problem affects cost only, never results."""
+        from repro import Testbed
+        from repro.runtime.program import LfpStrategy, QueryProgram
+        from repro.datalog.parser import parse_query
+
+        program = parse_program(
+            """
+            p(X, Y) :- p1(X, Z), q(Z, Y).
+            p(X, Y) :- b1(X, Y).
+            p1(X, Y) :- b2(X, Z), p1(Z, Y).
+            p1(X, Y) :- b2(X, Y).
+            p2(X, Y) :- b1(X, Z), p2(Z, Y).
+            p2(X, Y) :- b1(X, Y).
+            q(X, Y) :- p(X, Y), p2(X, Y).
+            """
+        )
+        graph = build_evaluation_graph(program)
+        orders = all_evaluation_orders(graph)
+        assert len(orders) >= 2
+
+        with Testbed() as tb:
+            tb.define("b1(u, v). b1(v, w). b2(u, v).")
+            types = {
+                name: ("TEXT", "TEXT")
+                for name in ("p", "q", "p1", "p2", "b1", "b2")
+            }
+            results = []
+            for order in orders:
+                query_program = QueryProgram(
+                    query=parse_query("?- p(X, Y)."),
+                    order=tuple(order),
+                    types=types,
+                    base_predicates=frozenset({"b1", "b2"}),
+                    strategy=LfpStrategy.SEMINAIVE,
+                )
+                execution = query_program.execute(tb.database, tb.catalog)
+                results.append(sorted(execution.rows))
+            assert all(rows == results[0] for rows in results)
+            assert results[0]  # non-trivial answers

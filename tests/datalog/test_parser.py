@@ -1,0 +1,164 @@
+"""Unit tests for the Rule Parser."""
+
+import pytest
+
+from repro.datalog.parser import (
+    parse_clause,
+    parse_program,
+    parse_query,
+    tokenize,
+)
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("p(X, 'a') :- q(1).")]
+        assert kinds == [
+            "NAME",
+            "LPAREN",
+            "NAME",
+            "COMMA",
+            "QUOTED",
+            "RPAREN",
+            "IMPLIES",
+            "NAME",
+            "LPAREN",
+            "INT",
+            "RPAREN",
+            "PERIOD",
+        ]
+
+    def test_comments_dropped(self):
+        tokens = tokenize("p(a). % a comment\nq(b).")
+        assert all(t.kind != "COMMENT" for t in tokens)
+        assert sum(1 for t in tokens if t.kind == "NAME") == 4
+
+    def test_bad_character_reports_position(self):
+        with pytest.raises(ParseError) as error:
+            tokenize("p(a) @ q(b)")
+        assert error.value.position == 5
+
+    def test_negative_integers(self):
+        tokens = tokenize("p(-5).")
+        assert any(t.kind == "INT" and t.value == "-5" for t in tokens)
+
+
+class TestParseClause:
+    def test_fact(self):
+        clause = parse_clause("parent(john, mary).")
+        assert clause.is_fact
+        assert clause.head.ground_tuple() == ("john", "mary")
+
+    def test_rule_with_both_arrow_spellings(self):
+        one = parse_clause("p(X) :- q(X).")
+        two = parse_clause("p(X) <- q(X).")
+        assert one == two
+
+    def test_case_determines_term_kind(self):
+        clause = parse_clause("p(X, x, _u, 'Quoted').")
+        x_var, x_const, underscore, quoted = clause.head.terms
+        assert x_var == Variable("X")
+        assert x_const == Constant("x")
+        assert underscore == Variable("_u")
+        assert quoted == Constant("Quoted")
+
+    def test_integers(self):
+        clause = parse_clause("p(1, -2).")
+        assert clause.head.ground_tuple() == (1, -2)
+
+    def test_quoted_escapes(self):
+        clause = parse_clause(r"p('it\'s').")
+        assert clause.head.ground_tuple() == ("it's",)
+
+    def test_double_quoted(self):
+        clause = parse_clause('p("hello world").')
+        assert clause.head.ground_tuple() == ("hello world",)
+
+    def test_negation_in_body(self):
+        clause = parse_clause("p(X) :- q(X), not r(X).")
+        assert clause.body[1].negated
+        clause2 = parse_clause(r"p(X) :- q(X), \+ r(X).")
+        assert clause == clause2
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("not p(X) :- q(X).")
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("p().")
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(X) :- q(X)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(a). extra")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clause("P(a).")
+
+
+class TestParseProgram:
+    def test_multiple_clauses(self):
+        program = parse_program(
+            """
+            % the classic
+            ancestor(X, Y) :- parent(X, Y).
+            ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+            parent(john, mary).
+            """
+        )
+        assert len(program.rules) == 2
+        assert len(program.facts) == 1
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_comment_only(self):
+        assert len(parse_program("% nothing here")) == 0
+
+
+class TestParseQuery:
+    def test_with_query_marker(self):
+        query = parse_query("?- ancestor(john, X).")
+        assert query.goals[0] == Atom(
+            "ancestor", (Constant("john"), Variable("X"))
+        )
+        assert query.answer_variables == (Variable("X"),)
+
+    def test_without_marker_or_period(self):
+        query = parse_query("p(X), q(X, Y)")
+        assert len(query.goals) == 2
+        assert query.answer_variables == (Variable("X"), Variable("Y"))
+
+    def test_negated_goal(self):
+        query = parse_query("?- p(X), not q(X).")
+        assert query.goals[1].negated
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("?- p(X). q(Y).")
+
+    def test_round_trip(self):
+        query = parse_query("?- ancestor('john', X).")
+        assert parse_query(str(query)) == query
+
+
+class TestRoundTrip:
+    CASES = [
+        "p(X, Y) :- q(X, Z), r(Z, Y).",
+        "p('a b', 'c').",
+        "p(1, -2, X).",
+        "p(X) :- q(X), not r(X).",
+        "likes(john, 'ice cream').",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_str_parse_identity(self, text):
+        clause = parse_clause(text)
+        assert parse_clause(str(clause)) == clause

@@ -1,0 +1,158 @@
+"""Unit tests for the Predicate Connection Graph and clique detection.
+
+Includes the paper's own Figure 1 rule set as a fixture: its cliques and
+reachability structure are stated in the paper (Figures 2 and 3).
+"""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.pcg import (
+    Clique,
+    PredicateConnectionGraph,
+    clique_of,
+    find_cliques,
+)
+
+# The paper's Figure 1, reconstructed: p and q mutually recursive (R1/R6),
+# p1 self-recursive, p2 self-recursive, b1/b2 base.
+FIGURE_1 = """
+p(X, Y) :- p1(X, Z), q(Z, Y).
+p(X, Y) :- b1(X, Y).
+p1(X, Y) :- b2(X, Z), p1(Z, Y).
+p1(X, Y) :- b2(X, Y).
+p2(X, Y) :- b1(X, Z), p2(Z, Y).
+q(X, Y) :- p(X, Y), p2(X, Y).
+"""
+
+
+@pytest.fixture
+def figure1():
+    return parse_program(FIGURE_1)
+
+
+class TestGraphBasics:
+    def test_edges_head_to_body(self):
+        pcg = PredicateConnectionGraph(parse_program("p(X) :- q(X), r(X).").rules)
+        assert pcg.successors("p") == {"q", "r"}
+        assert pcg.predecessors("q") == {"p"}
+
+    def test_facts_add_isolated_nodes(self):
+        pcg = PredicateConnectionGraph(parse_program("p(a).").facts)
+        assert "p" in pcg
+        assert pcg.successors("p") == set()
+
+    def test_edges_iteration_sorted(self):
+        pcg = PredicateConnectionGraph(
+            parse_program("p(X) :- r(X), q(X).").rules
+        )
+        assert list(pcg.edges()) == [("p", "q"), ("p", "r")]
+
+    def test_len_counts_nodes(self):
+        pcg = PredicateConnectionGraph(parse_program("p(X) :- q(X).").rules)
+        assert len(pcg) == 2
+
+
+class TestReachability:
+    def test_direct_and_transitive(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        reachable = pcg.reachable_from("p")
+        # From p everything is reachable (through q back to p, p2, and p1).
+        assert reachable == {"p", "q", "p1", "p2", "b1", "b2"}
+
+    def test_not_reflexive_without_cycle(self):
+        pcg = PredicateConnectionGraph(parse_program("p(X) :- q(X).").rules)
+        assert "p" not in pcg.reachable_from("p")
+        assert pcg.reachable_from("p") == {"q"}
+
+    def test_reflexive_on_cycle(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        assert "p1" in pcg.reachable_from("p1")
+
+    def test_multi_source(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        assert "b1" in pcg.reachable_from("p2", "p1")
+
+    def test_unknown_source_is_empty(self):
+        pcg = PredicateConnectionGraph([])
+        assert pcg.reachable_from("nowhere") == set()
+
+    def test_transitive_closure_matches_pointwise(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        closure = pcg.transitive_closure()
+        for node in pcg.nodes:
+            targets = {t for (s, t) in closure if s == node}
+            assert targets == pcg.reachable_from(node)
+
+
+class TestStronglyConnectedComponents:
+    def test_figure1_components(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        components = pcg.strongly_connected_components()
+        as_sets = [frozenset(c) for c in components]
+        assert frozenset({"p", "q"}) in as_sets
+        assert frozenset({"p1"}) in as_sets
+        assert frozenset({"p2"}) in as_sets
+
+    def test_reverse_topological_order(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        components = pcg.strongly_connected_components()
+        position = {}
+        for index, component in enumerate(components):
+            for node in component:
+                position[node] = index
+        # Dependencies come before dependents.
+        assert position["p1"] < position["p"]
+        assert position["p2"] < position["q"]
+
+    def test_is_recursive(self, figure1):
+        pcg = PredicateConnectionGraph(figure1.rules)
+        assert pcg.is_recursive("p")
+        assert pcg.is_recursive("q")
+        assert pcg.is_recursive("p1")
+        assert not pcg.is_recursive("b1")
+
+
+class TestCliques:
+    def test_figure1_cliques(self, figure1):
+        cliques = find_cliques(figure1)
+        by_predicates = {c.predicates: c for c in cliques}
+        assert frozenset({"p", "q"}) in by_predicates
+        assert frozenset({"p1"}) in by_predicates
+        assert frozenset({"p2"}) in by_predicates
+        assert len(cliques) == 3
+
+    def test_recursive_vs_exit_rules(self, figure1):
+        cliques = find_cliques(figure1)
+        pq = clique_of("p", cliques)
+        assert pq is not None
+        # R1 (through q) and R6 (through p, p2) are recursive in the clique;
+        # R2 (p from b1) is the exit rule.
+        assert len(pq.recursive_rules) == 2
+        assert len(pq.exit_rules) == 1
+        assert pq.exit_rules[0].body_predicates == ("b1",)
+
+    def test_p2_has_no_exit_rule(self, figure1):
+        cliques = find_cliques(figure1)
+        p2 = clique_of("p2", cliques)
+        assert p2 is not None
+        assert len(p2.recursive_rules) == 1
+        assert len(p2.exit_rules) == 0
+
+    def test_nonrecursive_predicates_yield_no_clique(self):
+        program = parse_program("p(X) :- q(X). r(X) :- p(X).")
+        assert find_cliques(program) == []
+
+    def test_clique_rules_property(self, figure1):
+        clique = clique_of("p1", find_cliques(figure1))
+        assert clique is not None
+        assert set(clique.rules) == set(
+            clique.recursive_rules + clique.exit_rules
+        )
+
+    def test_clique_of_missing(self):
+        assert clique_of("zzz", []) is None
+
+    def test_clique_str(self, figure1):
+        clique = clique_of("p1", find_cliques(figure1))
+        assert "p1" in str(clique)

@@ -1,0 +1,76 @@
+"""Unit tests for the safety (range-restriction) check."""
+
+import pytest
+
+from repro.datalog.parser import parse_clause, parse_program
+from repro.datalog.safety import (
+    check_clause,
+    check_program,
+    is_safe,
+    violations,
+)
+from repro.errors import SafetyError
+
+
+class TestSafeClauses:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p(X) :- q(X).",
+            "p(X, Y) :- q(X, Z), r(Z, Y).",
+            "p(a, b).",
+            "p(X) :- q(X), not r(X).",
+            "p(1) :- q(X).",  # constant head arguments need no binding
+        ],
+    )
+    def test_safe(self, text):
+        assert is_safe(parse_clause(text))
+
+
+class TestUnsafeClauses:
+    def test_unbound_head_variable(self):
+        violation = check_clause(parse_clause("p(X, Y) :- q(X)."))
+        assert violation is not None
+        assert [v.name for v in violation.unrestricted_head] == ["Y"]
+
+    def test_bodyless_rule_with_variables(self):
+        # A clause with head variables and empty body is maximally unsafe.
+        from repro.datalog.clauses import Clause
+        from repro.datalog.terms import Atom, Variable
+
+        clause = Clause(Atom("p", (Variable("X"),)))
+        assert not is_safe(clause)
+
+    def test_negated_only_binding_is_unsafe(self):
+        violation = check_clause(parse_clause("p(X) :- not q(X)."))
+        assert violation is not None
+        assert [v.name for v in violation.unrestricted_head] == ["X"]
+        assert [v.name for v in violation.unrestricted_negated] == ["X"]
+
+    def test_negated_atom_with_free_variable(self):
+        violation = check_clause(parse_clause("p(X) :- q(X), not r(X, Y)."))
+        assert violation is not None
+        assert [v.name for v in violation.unrestricted_negated] == ["Y"]
+
+    def test_describe_mentions_rule(self):
+        violation = check_clause(parse_clause("p(X, Y) :- q(X)."))
+        assert violation is not None
+        assert "Y" in violation.describe()
+        assert "p(X, Y)" in violation.describe()
+
+
+class TestProgramCheck:
+    def test_all_violations_collected(self):
+        program = parse_program(
+            "p(X, Y) :- q(X). r(X) :- not s(X). ok(X) :- q(X)."
+        )
+        found = violations(program)
+        assert len(found) == 2
+
+    def test_check_program_raises(self):
+        program = parse_program("p(X, Y) :- q(X).")
+        with pytest.raises(SafetyError):
+            check_program(program)
+
+    def test_check_program_passes_safe(self):
+        check_program(parse_program("p(X) :- q(X)."))

@@ -1,0 +1,90 @@
+"""Unit tests for stratification (the negation extension)."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import (
+    has_negation,
+    is_stratifiable,
+    stratify,
+)
+from repro.errors import StratificationError
+
+
+class TestStratify:
+    def test_positive_program_single_stratum(self):
+        program = parse_program("p(X) :- q(X). q(X) :- r(X).")
+        strat = stratify(program)
+        assert strat.stratum_count == 1
+        assert strat.stratum_of["p"] == strat.stratum_of["q"] == 0
+
+    def test_negation_pushes_up_a_stratum(self):
+        program = parse_program(
+            "reach(X) :- edge(X). unreach(X) :- node(X), not reach(X)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["reach"] == 0
+        assert strat.stratum_of["unreach"] == 1
+
+    def test_chained_negations_stack(self):
+        program = parse_program(
+            "a(X) :- e(X)."
+            "b(X) :- n(X), not a(X)."
+            "c(X) :- n(X), not b(X)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["a"] == 0
+        assert strat.stratum_of["b"] == 1
+        assert strat.stratum_of["c"] == 2
+        assert strat.stratum_count == 3
+
+    def test_negation_of_base_predicate_is_free(self):
+        program = parse_program("p(X) :- q(X), not base(X). q(a).")
+        strat = stratify(program)
+        assert strat.stratum_of["p"] == 0
+
+    def test_recursion_through_negation_rejected(self):
+        program = parse_program(
+            "win(X) :- move(X, Y), not win(Y)."
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+        assert not is_stratifiable(program)
+
+    def test_mutual_recursion_with_external_negation(self):
+        program = parse_program(
+            "p(X) :- q(X). q(X) :- p(X)."
+            "r(X) :- n(X), not p(X)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["p"] == strat.stratum_of["q"] == 0
+        assert strat.stratum_of["r"] == 1
+
+    def test_positive_recursion_is_fine(self):
+        program = parse_program(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+        )
+        assert is_stratifiable(program)
+
+    def test_strata_grouping(self):
+        program = parse_program(
+            "a(X) :- e(X). b(X) :- n(X), not a(X)."
+        )
+        groups = stratify(program).strata()
+        assert groups == [{"a"}, {"b"}]
+
+    def test_split_program(self):
+        program = parse_program(
+            "a(X) :- e(X). b(X) :- n(X), not a(X)."
+        )
+        parts = stratify(program).split_program(program)
+        assert [sorted(p.head_predicates) for p in parts] == [["a"], ["b"]]
+
+    def test_empty_program(self):
+        strat = stratify(parse_program(""))
+        assert strat.stratum_count == 0
+
+
+def test_has_negation():
+    assert has_negation(parse_program("p(X) :- q(X), not r(X)."))
+    assert not has_negation(parse_program("p(X) :- q(X)."))

@@ -1,0 +1,122 @@
+"""Unit tests for terms and atoms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Atom,
+    Constant,
+    Variable,
+    atoms_variables,
+    fresh_variable,
+    is_constant,
+    is_variable,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Who")) == "Who"
+
+    def test_renamed(self):
+        assert Variable("X").renamed("_1") == Variable("X_1")
+
+
+class TestConstant:
+    def test_string_and_int_are_distinct(self):
+        assert Constant("1") != Constant(1)
+
+    def test_sql_type(self):
+        assert Constant("a").sql_type == "TEXT"
+        assert Constant(7).sql_type == "INTEGER"
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("john")) == "'john'"
+        assert str(Constant(42)) == "42"
+
+    def test_predicates(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("A"))
+        assert is_variable(Variable("A"))
+        assert not is_variable(Constant("a"))
+
+
+class TestAtom:
+    def test_requires_predicate_name(self):
+        with pytest.raises(ValueError):
+            Atom("", (Constant("a"),))
+
+    def test_arity(self):
+        atom = Atom("p", (Variable("X"), Constant("a")))
+        assert atom.arity == 2
+
+    def test_variables_in_first_occurrence_order(self):
+        atom = Atom("p", (Variable("Y"), Variable("X"), Variable("Y")))
+        assert atom.variables == (Variable("Y"), Variable("X"))
+
+    def test_constants_keep_duplicates(self):
+        atom = Atom("p", (Constant("a"), Variable("X"), Constant("a")))
+        assert atom.constants == (Constant("a"), Constant("a"))
+
+    def test_is_ground(self):
+        assert Atom("p", (Constant("a"),)).is_ground
+        assert not Atom("p", (Variable("X"),)).is_ground
+
+    def test_ground_tuple(self):
+        atom = Atom("p", (Constant("a"), Constant(3)))
+        assert atom.ground_tuple() == ("a", 3)
+
+    def test_ground_tuple_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Atom("p", (Variable("X"),)).ground_tuple()
+
+    def test_substitute(self):
+        atom = Atom("p", (Variable("X"), Variable("Y")))
+        result = atom.substitute({Variable("X"): Constant("a")})
+        assert result == Atom("p", (Constant("a"), Variable("Y")))
+
+    def test_negate_round_trip(self):
+        atom = Atom("p", (Variable("X"),))
+        assert atom.negate().negated
+        assert atom.negate().negate() == atom
+        assert atom.negate().positive() == atom
+
+    def test_with_predicate(self):
+        atom = Atom("p", (Variable("X"),), negated=True)
+        renamed = atom.with_predicate("q")
+        assert renamed.predicate == "q"
+        assert renamed.negated
+
+    def test_str_negated(self):
+        atom = Atom("p", (Variable("X"),), negated=True)
+        assert str(atom) == "not p(X)"
+
+    def test_terms_coerced_to_tuple(self):
+        atom = Atom("p", [Variable("X")])  # type: ignore[arg-type]
+        assert isinstance(atom.terms, tuple)
+
+
+class TestHelpers:
+    def test_fresh_variables_are_distinct(self):
+        names = {fresh_variable().name for __ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_variable_cannot_be_parsed_name(self):
+        assert "#" in fresh_variable("X").name
+
+    def test_atoms_variables_order_and_dedup(self):
+        atoms = [
+            Atom("p", (Variable("B"), Variable("A"))),
+            Atom("q", (Variable("A"), Variable("C"))),
+        ]
+        assert list(atoms_variables(atoms)) == [
+            Variable("B"),
+            Variable("A"),
+            Variable("C"),
+        ]

@@ -1,0 +1,111 @@
+"""Unit tests for type inference and checking (Semantic Checker part 2)."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.typecheck import (
+    TypeEnvironment,
+    check_query_types,
+    infer_types,
+)
+from repro.errors import TypeInferenceError
+
+
+class TestInference:
+    def test_types_propagate_from_base(self):
+        program = parse_program("p(X, Y) :- e(X, Y).")
+        env = infer_types(program, {"e": ("TEXT", "INTEGER")})
+        assert env.of("p") == ("TEXT", "INTEGER")
+
+    def test_join_variable_types(self):
+        program = parse_program("p(X, Y) :- e(X, Z), f(Z, Y).")
+        env = infer_types(program, {"e": ("TEXT", "INTEGER"), "f": ("INTEGER", "TEXT")})
+        assert env.of("p") == ("TEXT", "TEXT")
+
+    def test_recursive_rules_reach_fixpoint(self):
+        program = parse_program(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+        )
+        env = infer_types(program, {"par": ("TEXT", "TEXT")})
+        assert env.of("anc") == ("TEXT", "TEXT")
+
+    def test_chained_derived_predicates(self):
+        program = parse_program("a(X) :- b(X). b(X) :- c(X).")
+        env = infer_types(program, {"c": ("INTEGER",)})
+        assert env.of("a") == ("INTEGER",)
+        assert env.of("b") == ("INTEGER",)
+
+    def test_constant_determines_head_type(self):
+        program = parse_program("p(X, 1) :- e(X).")
+        env = infer_types(program, {"e": ("TEXT",)})
+        assert env.of("p") == ("TEXT", "INTEGER")
+
+    def test_facts_contribute_types(self):
+        program = parse_program("p(a, 1).")
+        env = infer_types(program, {})
+        assert env.of("p") == ("TEXT", "INTEGER")
+
+
+class TestConflicts:
+    def test_rules_must_agree(self):
+        program = parse_program("p(X) :- e(X). p(X) :- f(X).")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {"e": ("TEXT",), "f": ("INTEGER",)})
+
+    def test_variable_used_at_two_types(self):
+        program = parse_program("p(X) :- e(X), f(X).")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {"e": ("TEXT",), "f": ("INTEGER",)})
+
+    def test_constant_against_column_type(self):
+        program = parse_program("p(X) :- e(X, 'label').")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {"e": ("TEXT", "INTEGER")})
+
+    def test_arity_mismatch_against_dictionary(self):
+        program = parse_program("p(X) :- e(X, X).")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {"e": ("TEXT",)})
+
+    def test_missing_base_relation(self):
+        program = parse_program("p(X) :- missing(X).")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {})
+
+    def test_invalid_declared_type(self):
+        program = parse_program("p(X) :- e(X).")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {"e": ("BLOB",)})
+
+    def test_fact_conflicts_with_rule(self):
+        program = parse_program("p(1). p(X) :- e(X).")
+        with pytest.raises(TypeInferenceError):
+            infer_types(program, {"e": ("TEXT",)})
+
+
+class TestEnvironment:
+    def test_missing_predicate_raises(self):
+        env = TypeEnvironment({})
+        with pytest.raises(TypeInferenceError):
+            env.of("ghost")
+
+    def test_contains(self):
+        env = TypeEnvironment({"p": ("TEXT",)})
+        assert "p" in env
+        assert "q" not in env
+
+
+class TestQueryTypeCheck:
+    def test_matching_constant_passes(self):
+        env = TypeEnvironment({"p": ("TEXT", "INTEGER")})
+        check_query_types(parse_query("?- p('a', X).").goals, env)
+
+    def test_mismatched_constant_rejected(self):
+        env = TypeEnvironment({"p": ("TEXT", "INTEGER")})
+        with pytest.raises(TypeInferenceError):
+            check_query_types(parse_query("?- p(1, X).").goals, env)
+
+    def test_wrong_arity_rejected(self):
+        env = TypeEnvironment({"p": ("TEXT",)})
+        with pytest.raises(TypeInferenceError):
+            check_query_types(parse_query("?- p(X, Y).").goals, env)

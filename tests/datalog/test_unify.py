@@ -1,0 +1,117 @@
+"""Unit tests for substitution and unification."""
+
+import pytest
+
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.datalog.unify import (
+    apply_substitution,
+    compose,
+    match,
+    unify_atoms,
+    unify_terms,
+    variables_of,
+    walk,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestUnifyTerms:
+    def test_constant_with_itself(self):
+        assert unify_terms(a, Constant("a")) == {}
+
+    def test_distinct_constants_fail(self):
+        assert unify_terms(a, b) is None
+
+    def test_variable_binds_constant(self):
+        assert unify_terms(X, a) == {X: a}
+        assert unify_terms(a, X) == {X: a}
+
+    def test_variable_with_variable(self):
+        subst = unify_terms(X, Y)
+        assert subst in ({X: Y}, {Y: X})
+
+    def test_variable_with_itself_adds_nothing(self):
+        assert unify_terms(X, X) == {}
+
+    def test_existing_bindings_respected(self):
+        assert unify_terms(X, b, {X: a}) is None
+        assert unify_terms(X, a, {X: a}) == {X: a}
+
+    def test_input_not_mutated(self):
+        initial = {X: a}
+        unify_terms(Y, b, initial)
+        assert initial == {X: a}
+
+    def test_chained_bindings_resolve(self):
+        subst = unify_terms(X, Y, {Y: a})
+        assert walk(X, subst) == a
+
+
+class TestUnifyAtoms:
+    def test_success_produces_unifier(self):
+        left = Atom("p", (X, a))
+        right = Atom("p", (b, Y))
+        subst = unify_atoms(left, right)
+        assert subst is not None
+        assert apply_substitution(left, subst) == apply_substitution(right, subst)
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("p", (X, Y))) is None
+
+    def test_negation_mismatch(self):
+        positive = Atom("p", (X,))
+        assert unify_atoms(positive, positive.negate()) is None
+
+    def test_shared_variable_propagates(self):
+        left = Atom("p", (X, X))
+        right = Atom("p", (a, Y))
+        subst = unify_atoms(left, right)
+        assert subst is not None
+        assert walk(Y, subst) == a
+
+    def test_conflicting_shared_variable_fails(self):
+        left = Atom("p", (X, X))
+        right = Atom("p", (a, b))
+        assert unify_atoms(left, right) is None
+
+
+class TestMatch:
+    def test_match_binds_pattern_only(self):
+        pattern = Atom("p", (X, a))
+        ground = Atom("p", (b, a))
+        assert match(pattern, ground) == {X: b}
+
+    def test_match_requires_ground_target(self):
+        with pytest.raises(ValueError):
+            match(Atom("p", (X,)), Atom("p", (Y,)))
+
+    def test_match_constant_mismatch(self):
+        assert match(Atom("p", (a,)), Atom("p", (b,))) is None
+
+    def test_match_repeated_variable(self):
+        pattern = Atom("p", (X, X))
+        assert match(pattern, Atom("p", (a, a))) == {X: a}
+        assert match(pattern, Atom("p", (a, b))) is None
+
+
+class TestCompose:
+    def test_inner_then_outer(self):
+        inner = {X: Y}
+        outer = {Y: a}
+        composed = compose(outer, inner)
+        assert walk(X, composed) == a
+
+    def test_outer_bindings_preserved(self):
+        composed = compose({Z: b}, {X: a})
+        assert composed[Z] == b
+        assert composed[X] == a
+
+
+def test_variables_of():
+    atoms = [Atom("p", (X, a)), Atom("q", (Y, X))]
+    assert variables_of(atoms) == {X, Y}

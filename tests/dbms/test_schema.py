@@ -1,0 +1,91 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.dbms.schema import (
+    RelationSchema,
+    column_name,
+    column_names,
+    quote_identifier,
+    schema_for,
+    validate_row,
+)
+
+
+class TestColumns:
+    def test_column_name(self):
+        assert column_name(0) == "c0"
+        assert column_name(12) == "c12"
+
+    def test_column_names(self):
+        assert column_names(3) == ("c0", "c1", "c2")
+        assert column_names(0) == ()
+
+
+class TestRelationSchema:
+    def test_arity(self):
+        schema = RelationSchema("r", ("TEXT", "INTEGER"))
+        assert schema.arity == 2
+        assert schema.columns == ("c0", "c1")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RelationSchema("", ("TEXT",))
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(ValueError):
+            RelationSchema("r", ("BLOB",))
+
+    def test_create_table_sql(self):
+        schema = RelationSchema("r", ("TEXT", "INTEGER"))
+        assert schema.create_table_sql() == (
+            'CREATE TABLE "r" (c0 TEXT, c1 INTEGER)'
+        )
+
+    def test_create_temporary(self):
+        schema = RelationSchema("r", ("TEXT",))
+        assert schema.create_table_sql(temporary=True).startswith(
+            "CREATE TEMPORARY TABLE"
+        )
+
+    def test_create_under_other_name(self):
+        schema = RelationSchema("r", ("TEXT",))
+        assert '"other"' in schema.create_table_sql(name="other")
+
+    def test_insert_sql(self):
+        schema = RelationSchema("r", ("TEXT", "INTEGER"))
+        assert schema.insert_sql() == 'INSERT INTO "r" VALUES (?, ?)'
+
+    def test_renamed(self):
+        schema = RelationSchema("r", ("TEXT",)).renamed("s")
+        assert schema.name == "s"
+        assert schema.types == ("TEXT",)
+
+    def test_schema_for_accepts_iterables(self):
+        schema = schema_for("r", ["TEXT", "TEXT"])
+        assert schema.types == ("TEXT", "TEXT")
+
+
+class TestQuoting:
+    def test_plain_identifier(self):
+        assert quote_identifier("table") == '"table"'
+
+    def test_embedded_quote_doubled(self):
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+
+class TestValidateRow:
+    SCHEMA = RelationSchema("r", ("TEXT", "INTEGER"))
+
+    def test_good_row(self):
+        validate_row(self.SCHEMA, ("a", 1))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            validate_row(self.SCHEMA, ("a",))
+
+    def test_wrong_types(self):
+        with pytest.raises(ValueError):
+            validate_row(self.SCHEMA, ("a", "b"))
+        with pytest.raises(ValueError):
+            validate_row(self.SCHEMA, (1, 1))

@@ -1,0 +1,78 @@
+"""Integration tests for unusual query shapes."""
+
+import pytest
+
+from repro import Testbed
+
+
+@pytest.fixture
+def tb(testbed):
+    testbed.define(
+        """
+        edge(a, b). edge(b, a). edge(b, c). edge(c, c).
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        """
+    )
+    return testbed
+
+
+class TestRepeatedVariables:
+    def test_repeated_variable_in_goal(self, tb):
+        """?- path(X, X). — nodes on a cycle."""
+        rows = sorted(set(tb.query("?- path(X, X).").rows))
+        assert rows == [("a",), ("b",), ("c",)]
+
+    def test_repeated_variable_in_base_goal(self, tb):
+        rows = tb.query("?- edge(X, X).").rows
+        assert rows == [("c",)]
+
+    def test_repeated_variable_with_constant(self, tb):
+        # X bound by join against itself plus a second goal.
+        rows = sorted(set(tb.query("?- path(X, X), edge(X, 'b').").rows))
+        assert rows == [("a",)]
+
+
+class TestAnswerVariableOrder:
+    def test_projection_follows_first_occurrence(self, tb):
+        query = tb.query("?- edge(Y, X).")
+        # answer variables default to first-occurrence order: Y then X.
+        assert ("a", "b") in query.rows  # Y=a, X=b for edge(a, b)
+
+    def test_explicit_answer_variables(self, tb):
+        from repro.datalog.clauses import Query
+        from repro.datalog.parser import parse_query
+
+        parsed = parse_query("?- edge(Y, X).")
+        reordered = Query(parsed.goals, (parsed.goals[0].terms[1],))
+        rows = set(tb.query(reordered).rows)
+        assert rows == {("b",), ("a",), ("c",)}
+
+
+class TestConstantsInRuleHeads:
+    def test_head_constant(self, testbed):
+        testbed.define(
+            """
+            item(hammer). item(nail).
+            labelled(X, 'tool') :- item(X).
+            """
+        )
+        rows = sorted(testbed.query("?- labelled(X, Y).").rows)
+        assert rows == [("hammer", "tool"), ("nail", "tool")]
+
+    def test_query_on_head_constant(self, testbed):
+        testbed.define(
+            """
+            item(hammer).
+            labelled(X, 'tool') :- item(X).
+            """
+        )
+        assert testbed.query("?- labelled('hammer', 'tool').").rows == [()]
+        assert testbed.query("?- labelled('hammer', 'food').").rows == []
+
+
+class TestSelfJoinGoals:
+    def test_same_predicate_twice_in_query(self, tb):
+        rows = sorted(set(tb.query("?- edge('a', X), edge(X, Y).").rows))
+        assert ("b", "a") in rows
+        assert ("b", "c") in rows

@@ -1,0 +1,107 @@
+"""Unit tests for the adaptive optimization policy."""
+
+import pytest
+
+from repro.km.policy import AdaptiveDecision, AdaptiveOptimizationPolicy
+from repro.workloads.queries import ancestor_query, make_ancestor_testbed
+from repro.workloads.relations import (
+    first_node_at_level,
+    full_binary_trees,
+    tree_node,
+)
+
+
+@pytest.fixture(scope="module")
+def tree_testbed():
+    relation = full_binary_trees(1, 8)
+    testbed = make_ancestor_testbed(relation)
+    yield testbed
+    testbed.close()
+
+
+def decide(testbed, root):
+    result = testbed.compile_query(ancestor_query(root), optimize="auto")
+    return result
+
+
+class TestDecisions:
+    def test_root_query_declines_magic(self, tree_testbed):
+        result = decide(tree_testbed, tree_node("t", 1))
+        assert not result.optimized
+        assert result.adaptive_decision is not None
+        assert not result.adaptive_decision.use_magic
+        assert result.adaptive_decision.estimated_selectivity == 1.0
+
+    def test_leafward_query_uses_magic(self, tree_testbed):
+        root = tree_node("t", first_node_at_level(6))
+        result = decide(tree_testbed, root)
+        assert result.optimized
+        assert result.adaptive_decision.use_magic
+        assert result.adaptive_decision.estimated_selectivity < 0.5
+
+    def test_decision_recorded_even_when_off(self, tree_testbed):
+        result = decide(tree_testbed, tree_node("t", 1))
+        assert "capped" in result.adaptive_decision.reason
+
+    def test_explicit_modes_skip_the_policy(self, tree_testbed):
+        result = tree_testbed.compile_query(
+            ancestor_query(tree_node("t", 1)), optimize=True
+        )
+        assert result.adaptive_decision is None
+        assert result.optimized
+
+    def test_answers_identical_under_auto(self, tree_testbed):
+        for index in (1, first_node_at_level(6)):
+            root = tree_node("t", index)
+            auto = tree_testbed.query(ancestor_query(root), optimize="auto")
+            plain = tree_testbed.query(ancestor_query(root))
+            assert sorted(auto.rows) == sorted(plain.rows)
+
+
+class TestPolicyUnit:
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveOptimizationPolicy(threshold=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveOptimizationPolicy(threshold=1.5)
+
+    def test_inapplicable_query(self, tree_testbed):
+        policy = AdaptiveOptimizationPolicy()
+        from repro.datalog.parser import parse_query
+
+        decision = policy.decide(
+            tree_testbed.database,
+            tree_testbed.catalog,
+            tree_testbed.compile_query("?- ancestor(X, Y).").relevant_rules,
+            parse_query("?- ancestor(X, Y)."),
+        )
+        assert not decision.use_magic
+        assert "does not apply" in decision.reason
+
+    def test_empty_relation_defaults_to_magic(self, testbed):
+        testbed.define(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+        )
+        testbed.define_base_relation("par", ("TEXT", "TEXT"))
+        result = testbed.compile_query("?- anc('a', X).", optimize="auto")
+        assert result.optimized
+
+    def test_threshold_shifts_the_flip_point(self):
+        relation = full_binary_trees(1, 7)
+        strict = make_ancestor_testbed(relation)
+        strict._compiler.policy = AdaptiveOptimizationPolicy(threshold=0.05)
+        lax = make_ancestor_testbed(relation)
+        lax._compiler.policy = AdaptiveOptimizationPolicy(threshold=0.9)
+        root = tree_node("t", first_node_at_level(3))  # ~24% selectivity
+        assert not decide(strict, root).optimized
+        assert decide(lax, root).optimized
+        strict.close()
+        lax.close()
+
+    def test_estimated_selectivity_bounds(self):
+        decision = AdaptiveDecision(True, "x", probed_nodes=5, probe_limit=50, domain_size=100)
+        assert decision.estimated_selectivity == pytest.approx(0.05)
+        capped = AdaptiveDecision(False, "x", probed_nodes=50, probe_limit=50, domain_size=100)
+        assert capped.estimated_selectivity == 1.0
+        empty = AdaptiveDecision(True, "x")
+        assert empty.estimated_selectivity == 0.0

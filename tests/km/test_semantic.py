@@ -1,0 +1,92 @@
+"""Unit tests for the Semantic Checker."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.km.semantic import check_semantics
+from repro.errors import (
+    SafetyError,
+    StratificationError,
+    TypeInferenceError,
+    UndefinedPredicateError,
+)
+
+RULES = parse_program(
+    "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+)
+BASE = {"par": ("TEXT", "TEXT")}
+
+
+class TestDefinedness:
+    def test_passes_when_all_defined(self):
+        report = check_semantics(RULES, parse_query("?- anc('a', X)."), BASE)
+        assert report.derived_predicates == frozenset({"anc"})
+        assert "par" in report.base_predicates
+
+    def test_undefined_body_predicate(self):
+        rules = parse_program("p(X) :- ghost(X).")
+        with pytest.raises(UndefinedPredicateError):
+            check_semantics(rules, parse_query("?- p(X)."), {})
+
+    def test_undefined_query_predicate(self):
+        with pytest.raises(UndefinedPredicateError):
+            check_semantics(RULES, parse_query("?- nothing(X)."), BASE)
+
+    def test_fact_defined_predicate_allowed(self):
+        rules = parse_program("p(X) :- q(X). q(a).")
+        report = check_semantics(rules, parse_query("?- p(X)."), {})
+        assert report.types.of("q") == ("TEXT",)
+
+
+class TestTypeChecks:
+    def test_types_inferred(self):
+        report = check_semantics(RULES, parse_query("?- anc('a', X)."), BASE)
+        assert report.types.of("anc") == ("TEXT", "TEXT")
+
+    def test_query_constant_type_checked(self):
+        with pytest.raises(TypeInferenceError):
+            check_semantics(RULES, parse_query("?- anc(1, X)."), BASE)
+
+    def test_dictionary_cross_check(self):
+        with pytest.raises(TypeInferenceError):
+            check_semantics(
+                RULES,
+                parse_query("?- anc('a', X)."),
+                BASE,
+                dictionary_types={"anc": ("INTEGER", "INTEGER")},
+            )
+
+    def test_dictionary_agreement_passes(self):
+        check_semantics(
+            RULES,
+            parse_query("?- anc('a', X)."),
+            BASE,
+            dictionary_types={"anc": ("TEXT", "TEXT")},
+        )
+
+
+class TestSafetyAndStratification:
+    def test_unsafe_rule_rejected(self):
+        rules = parse_program("p(X, Y) :- q(X).")
+        with pytest.raises(SafetyError):
+            check_semantics(rules, parse_query("?- p(X, Y)."), {"q": ("TEXT",)})
+
+    def test_unstratifiable_rejected(self):
+        rules = parse_program("win(X) :- move(X, Y), not win(Y).")
+        with pytest.raises(StratificationError):
+            check_semantics(
+                rules, parse_query("?- win(X)."), {"move": ("TEXT", "TEXT")}
+            )
+
+    def test_stratified_negation_accepted(self):
+        rules = parse_program(
+            "reach(X) :- edge('root', X)."
+            "reach(X) :- reach(Y), edge(Y, X)."
+            "unreach(X) :- node(X), not reach(X)."
+        )
+        report = check_semantics(
+            rules,
+            parse_query("?- unreach(X)."),
+            {"edge": ("TEXT", "TEXT"), "node": ("TEXT",)},
+        )
+        assert report.types.of("unreach") == ("TEXT",)

@@ -1,0 +1,121 @@
+"""Unit tests for the Testbed session facade."""
+
+import pytest
+
+from repro.km.session import Testbed
+from repro.runtime.program import LfpStrategy
+from repro.errors import CatalogError, SemanticError
+
+from ..conftest import FAMILY_FACTS, family_descendants
+
+
+class TestDefine:
+    def test_facts_routed_to_catalog(self, testbed):
+        testbed.define("parent(john, mary). parent(mary, sue).")
+        assert testbed.catalog.fact_count("parent") == 2
+        assert testbed.catalog.types_of(["parent"]) == {
+            "parent": ("TEXT", "TEXT")
+        }
+
+    def test_integer_fact_types_inferred(self, testbed):
+        testbed.define("score(alice, 10).")
+        assert testbed.catalog.types_of(["score"]) == {
+            "score": ("TEXT", "INTEGER")
+        }
+
+    def test_rules_stay_in_workspace(self, testbed):
+        testbed.define("p(X, Y) :- parent(X, Y).")
+        assert len(testbed.workspace.rules) == 1
+        assert testbed.stored_rule_count == 0
+
+    def test_mixed_predicate_normalised(self, testbed):
+        testbed.define("p(a, b). p(X, Y) :- q(X, Y). q(c, d).")
+        # Facts of p moved to p__base; p purely derived.
+        assert testbed.catalog.has_relation("p__base")
+        assert not testbed.catalog.has_relation("p")
+        assert "p" in testbed.workspace.derived_predicates
+        rows = testbed.query("?- p(X, Y).").rows
+        assert sorted(rows) == [("a", "b"), ("c", "d")]
+
+    def test_clash_detected_across_define_calls(self, testbed):
+        testbed.define("p(a, b).")
+        testbed.define("p(X, Y) :- q(X, Y). q(c, d).")
+        with pytest.raises(SemanticError):
+            testbed.query("?- p(X, Y).")
+
+
+class TestFactLoading:
+    def test_define_base_relation_and_load(self, testbed):
+        testbed.define_base_relation("edge", ("TEXT", "TEXT"))
+        assert testbed.load_facts("edge", [("a", "b")]) == 1
+
+    def test_load_into_missing_relation_rejected(self, testbed):
+        with pytest.raises(CatalogError):
+            testbed.load_facts("ghost", [("a",)])
+
+
+class TestQuery:
+    def test_rows_and_measurements(self, family_testbed):
+        result = family_testbed.query("?- ancestor('john', X).")
+        assert set(result.rows) == family_descendants("john")
+        assert result.compile_seconds > 0
+        assert result.execution_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.compile_seconds + result.execution_seconds
+        )
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    @pytest.mark.parametrize("strategy", list(LfpStrategy))
+    def test_every_configuration_agrees(self, family_testbed, optimize, strategy):
+        result = family_testbed.query(
+            "?- ancestor('mary', X).", optimize=optimize, strategy=strategy
+        )
+        assert set(result.rows) == family_descendants("mary")
+
+    def test_query_object_accepted(self, family_testbed):
+        from repro.datalog.parser import parse_query
+
+        result = family_testbed.query(parse_query("?- ancestor('sue', X)."))
+        assert set(result.rows) == {("ann",)}
+
+    def test_unknown_predicate_raises(self, family_testbed):
+        from repro.errors import UndefinedPredicateError
+
+        with pytest.raises(UndefinedPredicateError):
+            family_testbed.query("?- nothing(X).")
+
+    def test_empty_answer(self, family_testbed):
+        assert family_testbed.query("?- ancestor('ann', X).").rows == []
+
+    def test_explain_returns_fragment(self, family_testbed):
+        source = family_testbed.explain("?- ancestor('john', X).")
+        assert "SPEC" in source
+        assert "ancestor" in source
+
+    def test_multi_goal_query(self, family_testbed):
+        rows = family_testbed.query(
+            "?- ancestor('john', X), ancestor(X, 'ann')."
+        ).rows
+        assert sorted(set(rows)) == [("mary",), ("sue",)]
+
+    def test_repeatable(self, family_testbed):
+        one = family_testbed.query("?- ancestor('john', X).").rows
+        two = family_testbed.query("?- ancestor('john', X).").rows
+        assert sorted(one) == sorted(two)
+
+
+class TestPersistence:
+    def test_on_disk_database(self, tmp_path):
+        path = str(tmp_path / "dkb.sqlite")
+        with Testbed(path) as tb:
+            tb.define("parent(a, b).")
+            tb.define("anc(X, Y) :- parent(X, Y).")
+            tb.update_stored_dkb()
+        with Testbed(path) as tb:
+            assert tb.stored_rule_count == 1
+            rows = tb.query("?- anc('a', X).").rows
+            assert rows == [("b",)]
+
+    def test_context_manager(self):
+        with Testbed() as tb:
+            tb.define("p(a).")

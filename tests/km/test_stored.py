@@ -1,0 +1,153 @@
+"""Unit tests for the Stored D/KB Manager and its storage structures."""
+
+import pytest
+
+from repro.datalog.parser import parse_clause, parse_program
+from repro.datalog.pcg import PredicateConnectionGraph
+from repro.km.stored import StoredDKB
+from repro.errors import UpdateError
+
+CHAIN = parse_program(
+    """
+    a(X, Y) :- b(X, Z), base1(Z, Y).
+    b(X, Y) :- c(X, Z), base2(Z, Y).
+    c(X, Y) :- base3(X, Y).
+    other(X) :- unrelated(X).
+    """
+)
+
+
+@pytest.fixture
+def stored(database):
+    dkb = StoredDKB(database)
+    dkb.store_rules(CHAIN.rules)
+    dkb.rebuild_closure()
+    return dkb
+
+
+class TestRuleStorage:
+    def test_store_counts_new_only(self, database):
+        dkb = StoredDKB(database)
+        assert dkb.store_rules(CHAIN.rules) == 4
+        assert dkb.store_rules(CHAIN.rules) == 0
+        assert dkb.rule_count() == 4
+
+    def test_all_rules_round_trip(self, stored):
+        assert stored.all_rules() == CHAIN
+
+    def test_stored_rule_texts(self, stored):
+        texts = stored.stored_rule_texts()
+        assert str(parse_clause("c(X, Y) :- base3(X, Y).")) in texts
+
+
+class TestExtraction:
+    def test_extracts_reachable_chain(self, stored):
+        program = stored.extract_relevant_rules(["a"])
+        assert {c.head_predicate for c in program} == {"a", "b", "c"}
+
+    def test_extracts_nothing_for_base(self, stored):
+        assert len(stored.extract_relevant_rules(["base1"])) == 0
+
+    def test_mid_chain_extraction(self, stored):
+        program = stored.extract_relevant_rules(["b"])
+        assert {c.head_predicate for c in program} == {"b", "c"}
+
+    def test_single_statement_with_compiled_storage(self, stored, database):
+        database.statistics.reset()
+        stored.extract_relevant_rules(["a"])
+        assert database.statistics.total.statements == 1
+
+    def test_source_only_extraction_matches(self, database):
+        compiled = StoredDKB(database)
+        compiled.store_rules(CHAIN.rules)
+        compiled.rebuild_closure()
+        source_only = StoredDKB(database, compiled_storage=False)
+        assert source_only.extract_relevant_rules(["a"]) == (
+            compiled.extract_relevant_rules(["a"])
+        )
+
+    def test_source_only_needs_multiple_statements(self, database):
+        dkb = StoredDKB(database, compiled_storage=False)
+        dkb.store_rules(CHAIN.rules)
+        database.statistics.reset()
+        dkb.extract_relevant_rules(["a"])
+        assert database.statistics.total.statements > 1
+
+    def test_empty_request(self, stored):
+        assert len(stored.extract_relevant_rules([])) == 0
+
+
+class TestDictionary:
+    def test_register_and_read(self, database):
+        dkb = StoredDKB(database)
+        dkb.register_predicate("p", ("TEXT", "INTEGER"))
+        assert dkb.derived_types_of(["p"]) == {"p": ("TEXT", "INTEGER")}
+        assert dkb.has_predicate("p")
+        assert dkb.predicate_count() == 1
+
+    def test_register_idempotent(self, database):
+        dkb = StoredDKB(database)
+        dkb.register_predicate("p", ("TEXT",))
+        dkb.register_predicate("p", ("TEXT",))
+        assert dkb.predicate_count() == 1
+
+    def test_register_conflict_rejected(self, database):
+        dkb = StoredDKB(database)
+        dkb.register_predicate("p", ("TEXT",))
+        with pytest.raises(UpdateError):
+            dkb.register_predicate("p", ("INTEGER",))
+
+    def test_read_unknown_silently_absent(self, database):
+        dkb = StoredDKB(database)
+        assert dkb.derived_types_of(["ghost"]) == {}
+
+
+class TestClosure:
+    def test_rebuild_matches_pcg(self, stored):
+        expected = PredicateConnectionGraph(CHAIN.rules).transitive_closure()
+        assert stored.closure_pairs() == expected
+
+    def test_reachable_predicates(self, stored):
+        assert stored.reachable_predicates(["a"]) == {
+            "b",
+            "c",
+            "base1",
+            "base2",
+            "base3",
+        }
+
+    def test_incremental_matches_rebuild(self, database):
+        dkb = StoredDKB(database)
+        # Insert rules one by one, maintaining the closure incrementally.
+        for clause in CHAIN.rules:
+            dkb.store_rules([clause])
+            edges = [
+                (clause.head_predicate, atom.predicate) for atom in clause.body
+            ]
+            dkb.add_edges_incremental(edges)
+        incremental = dkb.closure_pairs()
+        dkb.rebuild_closure()
+        assert incremental == dkb.closure_pairs()
+
+    def test_incremental_cycle(self, database):
+        dkb = StoredDKB(database)
+        dkb.add_edges_incremental([("p", "q"), ("q", "p")])
+        assert dkb.closure_pairs() == {
+            ("p", "q"),
+            ("q", "p"),
+            ("p", "p"),
+            ("q", "q"),
+        }
+
+    def test_incremental_duplicate_edges_noop(self, database):
+        dkb = StoredDKB(database)
+        dkb.add_edges_incremental([("p", "q")])
+        assert dkb.add_edges_incremental([("p", "q")]) == 0
+
+    def test_persistence_across_instances(self, database):
+        dkb = StoredDKB(database)
+        dkb.store_rules(CHAIN.rules)
+        dkb.rebuild_closure()
+        again = StoredDKB(database)
+        assert again.rule_count() == 4
+        assert again.closure_pairs() == dkb.closure_pairs()

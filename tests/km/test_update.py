@@ -1,0 +1,125 @@
+"""Unit tests for the Stored D/KB update algorithm."""
+
+import pytest
+
+from repro.datalog.pcg import PredicateConnectionGraph
+from repro.km.session import Testbed
+from repro.errors import UpdateError
+
+
+@pytest.fixture
+def tb():
+    testbed = Testbed()
+    testbed.define_base_relation("e", ("TEXT", "TEXT"))
+    yield testbed
+    testbed.close()
+
+
+class TestUpdate:
+    def test_rules_moved_to_stored(self, tb):
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        result = tb.update_stored_dkb()
+        assert len(result.new_rules) == 1
+        assert tb.stored_rule_count == 1
+        assert len(tb.workspace.rules) == 0  # workspace cleared
+
+    def test_keep_workspace_option(self, tb):
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        tb.update_stored_dkb(clear_workspace=False)
+        assert len(tb.workspace.rules) == 1
+
+    def test_dictionary_registered(self, tb):
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        result = tb.update_stored_dkb()
+        assert result.new_predicates == ["p"]
+        assert tb.stored.derived_types_of(["p"]) == {"p": ("TEXT", "TEXT")}
+
+    def test_closure_maintained_incrementally(self, tb):
+        tb.workspace.define("p(X, Y) :- q(X, Z), e(Z, Y). q(X, Y) :- e(X, Y).")
+        tb.update_stored_dkb()
+        first = tb.stored.closure_pairs()
+        # Expected: the closure of the PCG of the two rules.
+        expected = PredicateConnectionGraph(
+            tb.stored.all_rules().rules
+        ).transitive_closure()
+        assert first == expected
+
+    def test_second_update_extends_closure(self, tb):
+        tb.workspace.define("q(X, Y) :- e(X, Y).")
+        tb.update_stored_dkb()
+        tb.workspace.define("p(X, Y) :- q(X, Y).")
+        result = tb.update_stored_dkb()
+        assert ("p", "q") in tb.stored.closure_pairs()
+        assert ("p", "e") in tb.stored.closure_pairs()
+        assert result.new_closure_pairs == 2
+
+    def test_idempotent_update(self, tb):
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        tb.update_stored_dkb(clear_workspace=False)
+        result = tb.update_stored_dkb()
+        assert result.new_rules == []
+        assert result.new_closure_pairs == 0
+        assert tb.stored_rule_count == 1
+
+    def test_type_conflict_rejected_and_rolled_back(self, tb):
+        tb.define_base_relation("nums", ("INTEGER", "INTEGER"))
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        tb.update_stored_dkb()
+        closure_before = tb.stored.closure_pairs()
+        rules_before = tb.stored_rule_count
+        # A second definition of p with INTEGER columns conflicts.
+        tb.workspace.define("p(X, Y) :- nums(X, Y).")
+        with pytest.raises(UpdateError):
+            tb.update_stored_dkb()
+        assert tb.stored_rule_count == rules_before
+        assert tb.stored.closure_pairs() == closure_before
+
+    def test_timings_populated(self, tb):
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        result = tb.update_stored_dkb()
+        timings = result.timings.as_dict()
+        assert timings["total"] > 0
+        assert set(timings) == {"extract", "closure", "typecheck", "store", "total"}
+
+    def test_queryable_after_update(self, tb):
+        tb.workspace.define(
+            "anc(X, Y) :- e(X, Y). anc(X, Y) :- e(X, Z), anc(Z, Y)."
+        )
+        tb.update_stored_dkb()
+        tb.load_facts("e", [("a", "b"), ("b", "c")])
+        rows = tb.query("?- anc('a', X).").rows
+        assert sorted(rows) == [("b",), ("c",)]
+
+
+class TestSourceOnlyMode:
+    def test_no_closure_written(self):
+        tb = Testbed(compiled_rule_storage=False)
+        tb.define_base_relation("e", ("TEXT", "TEXT"))
+        tb.workspace.define("p(X, Y) :- e(X, Y).")
+        result = tb.update_stored_dkb()
+        assert result.new_closure_pairs == 0
+        assert tb.stored.closure_pairs() == set()
+        tb.close()
+
+    def test_still_queryable(self):
+        tb = Testbed(compiled_rule_storage=False)
+        tb.define_base_relation("e", ("TEXT", "TEXT"))
+        tb.workspace.define(
+            "anc(X, Y) :- e(X, Y). anc(X, Y) :- e(X, Z), anc(Z, Y)."
+        )
+        tb.update_stored_dkb()
+        tb.load_facts("e", [("a", "b"), ("b", "c")])
+        assert sorted(tb.query("?- anc('a', X).").rows) == [("b",), ("c",)]
+        tb.close()
+
+    def test_update_of_rule_referencing_stored_predicate(self):
+        tb = Testbed(compiled_rule_storage=False)
+        tb.define_base_relation("e", ("TEXT", "TEXT"))
+        tb.workspace.define("q(X, Y) :- e(X, Y).")
+        tb.update_stored_dkb()
+        # Types of q must come from the dictionary since no rules are
+        # extracted in source-only mode.
+        tb.workspace.define("p(X, Y) :- q(X, Y).")
+        result = tb.update_stored_dkb()
+        assert result.new_predicates == ["p"]
+        tb.close()

@@ -1,0 +1,74 @@
+"""Unit tests for the Workspace D/KB Manager."""
+
+from repro.datalog.parser import parse_clause
+from repro.km.workspace import WorkspaceDKB
+
+
+class TestDefine:
+    def test_define_parses_and_adds(self):
+        workspace = WorkspaceDKB()
+        added = workspace.define("p(X) :- q(X). q(a).")
+        assert len(added) == 2
+        assert len(workspace.rules) == 1
+        assert len(workspace.facts) == 1
+
+    def test_duplicate_definitions_ignored(self):
+        workspace = WorkspaceDKB()
+        workspace.define("p(X) :- q(X).")
+        added = workspace.define("p(X) :- q(X).")
+        assert added == []
+
+    def test_add_clause(self):
+        workspace = WorkspaceDKB()
+        clause = parse_clause("p(X) :- q(X).")
+        assert workspace.add_clause(clause)
+        assert not workspace.add_clause(clause)
+
+    def test_add_clauses_counts_new(self):
+        workspace = WorkspaceDKB()
+        clauses = [parse_clause("p(X) :- q(X)."), parse_clause("p(X) :- q(X).")]
+        assert workspace.add_clauses(clauses) == 1
+
+    def test_clear(self):
+        workspace = WorkspaceDKB()
+        workspace.define("p(X) :- q(X).")
+        workspace.clear()
+        assert len(workspace.program) == 0
+
+
+class TestAnalyses:
+    RULES = """
+    p(X, Y) :- q(X, Z), p(Z, Y).
+    p(X, Y) :- base(X, Y).
+    q(X, Y) :- other(X, Y).
+    """
+
+    def test_derived_predicates(self):
+        workspace = WorkspaceDKB()
+        workspace.define(self.RULES)
+        assert workspace.derived_predicates == {"p", "q"}
+
+    def test_reachable_from(self):
+        workspace = WorkspaceDKB()
+        workspace.define(self.RULES)
+        assert workspace.reachable_from("p") == {"p", "q", "base", "other"}
+        assert workspace.reachable_from("q") == {"other"}
+
+    def test_cliques(self):
+        workspace = WorkspaceDKB()
+        workspace.define(self.RULES)
+        cliques = workspace.cliques()
+        assert len(cliques) == 1
+        assert cliques[0].predicates == frozenset({"p"})
+
+    def test_evaluation_order_list(self):
+        workspace = WorkspaceDKB()
+        workspace.define(self.RULES)
+        order = workspace.evaluation_order_list()
+        names = ["+".join(sorted(n.predicates)) for n in order]
+        assert names == ["q", "p"]
+
+    def test_pcg_reflects_rules_only(self):
+        workspace = WorkspaceDKB()
+        workspace.define("p(X) :- q(X). ground(a).")
+        assert "ground" not in workspace.pcg().nodes or not workspace.pcg().successors("ground")

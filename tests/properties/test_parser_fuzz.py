@@ -1,0 +1,72 @@
+"""Fuzz properties: arbitrary input never crashes the parser unexpectedly.
+
+Whatever bytes arrive, the parser must either produce clauses or raise one
+of its declared error types — never an AttributeError, RecursionError, or
+other accidental exception.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.parser import parse_clause, parse_program, parse_query
+from repro.errors import ArityError, ParseError
+
+# Bias towards Datalog-looking garbage: real tokens shuffled with noise.
+fragments = st.sampled_from(
+    [
+        "p", "q(", "X", ",", ")", ":-", ".", "?-", "not", "'a",
+        "p(X)", "q(a, b)", "p(X, Y) :-", "42", "-", "%comment", "\n",
+        " ", '"str"', "\\+", "_V", "p(X).",
+    ]
+)
+garbage = st.lists(fragments, min_size=0, max_size=12).map(" ".join)
+raw_text = st.text(max_size=60)
+
+
+class TestParserTotality:
+    @given(garbage)
+    @settings(max_examples=300)
+    def test_parse_program_never_crashes(self, text):
+        try:
+            parse_program(text)
+        except (ParseError, ArityError):
+            pass
+
+    @given(raw_text)
+    @settings(max_examples=300)
+    def test_parse_program_on_arbitrary_text(self, text):
+        try:
+            parse_program(text)
+        except (ParseError, ArityError):
+            pass
+
+    @given(garbage)
+    @settings(max_examples=200)
+    def test_parse_clause_never_crashes(self, text):
+        try:
+            parse_clause(text)
+        except (ParseError, ArityError):
+            pass
+
+    @given(garbage)
+    @settings(max_examples=200)
+    def test_parse_query_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except (ParseError, ArityError, ValueError):
+            # ValueError covers Query-construction rejections (e.g. a goal
+            # with unbindable answer variables).
+            pass
+
+
+class TestInterpreterTotality:
+    @given(garbage)
+    @settings(max_examples=150, deadline=None)
+    def test_ui_interpreter_never_crashes(self, text):
+        from repro.km.session import Testbed
+        from repro.ui.commands import CommandInterpreter
+
+        with Testbed() as testbed:
+            interpreter = CommandInterpreter(testbed)
+            response = interpreter.execute(text)
+            assert isinstance(response, str)

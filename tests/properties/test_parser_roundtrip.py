@@ -1,0 +1,89 @@
+"""Property-based tests: the concrete syntax round-trips exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.clauses import Clause, Query
+from repro.datalog.parser import parse_clause, parse_query
+from repro.datalog.terms import Atom, Constant, Variable
+
+predicate_names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s != "not"
+)
+variable_names = st.from_regex(r"[A-Z][A-Za-z0-9_]{0,6}", fullmatch=True)
+symbol_constants = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s != "not"
+)
+string_constants = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"), max_codepoint=0x7E
+    ),
+    min_size=0,
+    max_size=12,
+)
+integer_constants = st.integers(min_value=-(10**6), max_value=10**6)
+
+terms = st.one_of(
+    variable_names.map(Variable),
+    symbol_constants.map(Constant),
+    string_constants.map(Constant),
+    integer_constants.map(Constant),
+)
+
+
+def atoms(negated=st.just(False)):
+    return st.builds(
+        Atom,
+        predicate_names,
+        st.lists(terms, min_size=1, max_size=4).map(tuple),
+        negated,
+    )
+
+
+positive_atoms = atoms()
+body_atoms = atoms(negated=st.booleans())
+
+clauses = st.builds(
+    Clause,
+    positive_atoms,
+    st.lists(body_atoms, min_size=0, max_size=4).map(tuple),
+)
+
+ground_terms = st.one_of(
+    symbol_constants.map(Constant),
+    string_constants.map(Constant),
+    integer_constants.map(Constant),
+)
+facts = st.builds(
+    Clause,
+    st.builds(
+        Atom,
+        predicate_names,
+        st.lists(ground_terms, min_size=1, max_size=4).map(tuple),
+    ),
+)
+
+
+class TestClauseRoundTrip:
+    @given(clauses)
+    @settings(max_examples=300)
+    def test_str_then_parse_is_identity(self, clause):
+        assert parse_clause(str(clause)) == clause
+
+    @given(facts)
+    @settings(max_examples=200)
+    def test_fact_values_survive(self, clause):
+        parsed = parse_clause(str(clause))
+        assert parsed.head.ground_tuple() == clause.head.ground_tuple()
+
+    @given(clauses)
+    def test_rendering_is_stable(self, clause):
+        assert str(parse_clause(str(clause))) == str(clause)
+
+
+class TestQueryRoundTrip:
+    @given(st.lists(positive_atoms, min_size=1, max_size=3).map(tuple))
+    @settings(max_examples=200)
+    def test_query_round_trip(self, goals):
+        query = Query(goals)
+        assert parse_query(str(query)) == query

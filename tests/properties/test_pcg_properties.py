@@ -1,0 +1,87 @@
+"""Property-based tests: PCG algorithms against NetworkX as an oracle."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.pcg import PredicateConnectionGraph
+from repro.runtime.transitive_closure import (
+    incremental_closure_update,
+    transitive_closure_python,
+)
+
+nodes = st.sampled_from([f"p{i}" for i in range(8)])
+edges = st.lists(st.tuples(nodes, nodes), min_size=0, max_size=25)
+
+
+def build_pcg(edge_list):
+    pcg = PredicateConnectionGraph()
+    for head, body in edge_list:
+        pcg.add_edge(head, body)
+    return pcg
+
+
+def build_nx(edge_list):
+    graph = nx.DiGraph()
+    graph.add_nodes_from({n for e in edge_list for n in e})
+    graph.add_edges_from(edge_list)
+    return graph
+
+
+class TestReachability:
+    @given(edges)
+    @settings(max_examples=200)
+    def test_matches_networkx_descendants(self, edge_list):
+        pcg = build_pcg(edge_list)
+        graph = build_nx(edge_list)
+        for node in graph.nodes:
+            # NetworkX descendants never include the start node; the paper's
+            # reachability includes it exactly when it lies on a cycle.
+            expected = set(nx.descendants(graph, node))
+            on_cycle = any(
+                nx.has_path(graph, successor, node)
+                for successor in graph.successors(node)
+            )
+            if on_cycle:
+                expected.add(node)
+            assert pcg.reachable_from(node) == expected
+
+    @given(edges)
+    @settings(max_examples=150)
+    def test_closure_matches_python_operator(self, edge_list):
+        pcg = build_pcg(edge_list)
+        assert pcg.transitive_closure() == transitive_closure_python(edge_list)
+
+
+class TestStronglyConnectedComponents:
+    @given(edges)
+    @settings(max_examples=200)
+    def test_matches_networkx(self, edge_list):
+        pcg = build_pcg(edge_list)
+        graph = build_nx(edge_list)
+        ours = {frozenset(c) for c in pcg.strongly_connected_components()}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(graph)}
+        assert ours == theirs
+
+    @given(edges)
+    @settings(max_examples=100)
+    def test_reverse_topological(self, edge_list):
+        pcg = build_pcg(edge_list)
+        components = pcg.strongly_connected_components()
+        position = {}
+        for index, component in enumerate(components):
+            for node in component:
+                position[node] = index
+        # Every edge goes from a later (or equal) component to an earlier one.
+        for head, body in edge_list:
+            assert position[body] <= position[head]
+
+
+class TestIncrementalClosure:
+    @given(edges, edges)
+    @settings(max_examples=150)
+    def test_incremental_equals_batch(self, initial, additions):
+        base = transitive_closure_python(initial)
+        added = incremental_closure_update(base, additions)
+        assert base | added == transitive_closure_python(initial + additions)
+        assert not (base & added)

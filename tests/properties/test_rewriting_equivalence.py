@@ -1,0 +1,124 @@
+"""Property-based tests: every rewriting strategy preserves query answers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Testbed
+from repro.dbms.engine import Database
+from repro.dbms.schema import RelationSchema
+from repro.datalog.parser import parse_program
+from repro.runtime.counting import evaluate_counting, recognize_counting_form
+
+NODES = [f"n{i}" for i in range(6)]
+node = st.sampled_from(NODES)
+graphs = st.lists(
+    st.tuples(node, node).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+ANCESTOR = (
+    "ancestor(X, Y) :- parent(X, Y)."
+    "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y)."
+)
+SG = (
+    "sg(X, Y) :- flat(X, Y)."
+    "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."
+)
+
+
+class TestSupplementaryEquivalence:
+    @given(graphs, node)
+    @settings(max_examples=30, deadline=None)
+    def test_ancestor_all_rewrites_agree(self, edges, source):
+        tb = Testbed()
+        try:
+            tb.define(ANCESTOR)
+            tb.define_base_relation("parent", ("TEXT", "TEXT"))
+            tb.load_facts("parent", edges)
+            query = f"?- ancestor('{source}', Y)."
+            plain = set(tb.query(query).rows)
+            magic = set(tb.query(query, optimize=True).rows)
+            supplementary = set(
+                tb.query(query, optimize="supplementary").rows
+            )
+            assert plain == magic == supplementary
+        finally:
+            tb.close()
+
+    @given(graphs, graphs, graphs, node)
+    @settings(max_examples=20, deadline=None)
+    def test_same_generation_all_rewrites_agree(self, up, flat, down, source):
+        tb = Testbed()
+        try:
+            tb.define(SG)
+            for name, edges in (("up", up), ("flat", flat), ("down", down)):
+                tb.define_base_relation(name, ("TEXT", "TEXT"))
+                tb.load_facts(name, edges)
+            query = f"?- sg('{source}', Y)."
+            plain = set(tb.query(query).rows)
+            magic = set(tb.query(query, optimize=True).rows)
+            supplementary = set(tb.query(query, optimize="supplementary").rows)
+            assert plain == magic == supplementary
+        finally:
+            tb.close()
+
+
+# Layered (acyclic-by-construction) graphs where counting is applicable.
+LEVELS = 4
+PER_LEVEL = 3
+layer_nodes = [
+    [f"l{level}_{i}" for i in range(PER_LEVEL)] for level in range(LEVELS)
+]
+layered_edges = st.lists(
+    st.tuples(
+        st.integers(0, LEVELS - 2),
+        st.integers(0, PER_LEVEL - 1),
+        st.integers(0, PER_LEVEL - 1),
+    ),
+    min_size=1,
+    max_size=15,
+).map(
+    lambda triples: sorted(
+        {
+            (layer_nodes[level][a], layer_nodes[level + 1][b])
+            for level, a, b in triples
+        }
+    )
+)
+
+
+class TestCountingEquivalence:
+    @given(layered_edges, layered_edges, layered_edges, st.integers(0, PER_LEVEL - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_counting_matches_bottom_up(self, up_raw, flat, down_raw, start):
+        # `up` must climb the layers: reverse the generated downward edges.
+        up = [(b, a) for a, b in up_raw]
+        down = list(down_raw)
+        source = layer_nodes[LEVELS - 1][start]
+
+        tb = Testbed()
+        try:
+            tb.define(SG)
+            for name, edges in (("up", up), ("flat", flat), ("down", down)):
+                tb.define_base_relation(name, ("TEXT", "TEXT"))
+                tb.load_facts(name, edges)
+            expected = set(tb.query(f"?- sg('{source}', Y).").rows)
+        finally:
+            tb.close()
+
+        database = Database()
+        for name, edges in (("t_up", up), ("t_flat", flat), ("t_down", down)):
+            schema = RelationSchema(name, ("TEXT", "TEXT"))
+            database.create_relation(schema)
+            database.insert_rows(schema, edges)
+        form = recognize_counting_form(parse_program(SG), "sg")
+        result = evaluate_counting(
+            database,
+            form,
+            {"up": "t_up", "flat": "t_flat", "down": "t_down"},
+            source,
+        )
+        database.close()
+        assert result.rows == expected

@@ -1,0 +1,100 @@
+"""Property-based tests: subsumption laws and LFP preservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Testbed
+from repro.datalog.clauses import Clause, Program
+from repro.datalog.subsumption import simplify_program, subsumes
+from repro.datalog.terms import Atom, Constant, Variable
+
+variables = st.sampled_from([Variable(n) for n in "XYZ"])
+constants = st.sampled_from([Constant(v) for v in ("a", "b")])
+terms = st.one_of(variables, constants)
+body_atoms = st.builds(
+    Atom,
+    st.sampled_from(["e", "f"]),
+    st.lists(terms, min_size=2, max_size=2).map(tuple),
+)
+# Safe rules over binary base predicates e/f with head p(..): head vars must
+# appear in the body, so build the head FROM body variables (or constants).
+rule_bodies = st.lists(body_atoms, min_size=1, max_size=3).map(tuple)
+
+
+@st.composite
+def safe_rules(draw):
+    body = draw(rule_bodies)
+    body_vars = [v for atom in body for v in atom.variables]
+    head_terms = []
+    for __ in range(2):
+        if body_vars and draw(st.booleans()):
+            head_terms.append(draw(st.sampled_from(body_vars)))
+        else:
+            head_terms.append(draw(constants))
+    return Clause(Atom("p", tuple(head_terms)), body)
+
+
+programs = st.lists(safe_rules(), min_size=1, max_size=6)
+FACTS = [("a", "b"), ("b", "a"), ("b", "b")]
+
+
+class TestSubsumptionLaws:
+    @given(safe_rules())
+    @settings(max_examples=200)
+    def test_reflexive(self, clause):
+        assert subsumes(clause, clause)
+
+    @given(safe_rules())
+    @settings(max_examples=200)
+    def test_variant_symmetric(self, clause):
+        renamed = clause.rename_apart("_v")
+        assert subsumes(clause, renamed)
+        assert subsumes(renamed, clause)
+
+    @given(safe_rules(), body_atoms)
+    @settings(max_examples=200)
+    def test_longer_body_is_subsumed(self, clause, extra):
+        extended = Clause(clause.head, clause.body + (extra,))
+        assert subsumes(clause, extended)
+
+    @given(safe_rules(), safe_rules(), safe_rules())
+    @settings(max_examples=150)
+    def test_transitive(self, a, b, c):
+        if subsumes(a, b) and subsumes(b, c):
+            assert subsumes(a, c)
+
+
+class TestSimplificationPreservesLfp:
+    @given(programs)
+    @settings(max_examples=30, deadline=None)
+    def test_same_answers_after_simplification(self, rules):
+        program = Program()
+        for clause in rules:
+            program.add(clause)
+        simplified, removed = simplify_program(program)
+
+        def answers(rule_set):
+            with Testbed() as tb:
+                for name in ("e", "f"):
+                    tb.define_base_relation(name, ("TEXT", "TEXT"))
+                    tb.load_facts(name, FACTS)
+                tb.workspace.add_clauses(rule_set)
+                return sorted(tb.query("?- p(X, Y).").rows)
+
+        assert answers(program) == answers(simplified)
+
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_nothing_kept_is_subsumed(self, rules):
+        program = Program()
+        for clause in rules:
+            program.add(clause)
+        simplified, __ = simplify_program(program)
+        kept = list(simplified)
+        for clause in kept:
+            for other in kept:
+                if other is not clause:
+                    # Kept clauses may subsume each other only mutually
+                    # (variants are already deduplicated by Program).
+                    if subsumes(other, clause):
+                        assert subsumes(clause, other)

@@ -1,0 +1,89 @@
+"""Property-based tests: algebraic laws of unification and matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.datalog.unify import (
+    apply_substitution,
+    match,
+    unify_atoms,
+)
+
+variables = st.sampled_from([Variable(n) for n in "XYZUVW"])
+constants = st.sampled_from([Constant(v) for v in ("a", "b", "c", 1, 2)])
+terms = st.one_of(variables, constants)
+atom_pairs_same_shape = st.integers(min_value=1, max_value=3).flatmap(
+    lambda n: st.tuples(
+        st.lists(terms, min_size=n, max_size=n).map(
+            lambda ts: Atom("p", tuple(ts))
+        ),
+        st.lists(terms, min_size=n, max_size=n).map(
+            lambda ts: Atom("p", tuple(ts))
+        ),
+    )
+)
+ground_atoms = st.lists(constants, min_size=1, max_size=3).map(
+    lambda ts: Atom("p", tuple(ts))
+)
+patterns = st.lists(terms, min_size=1, max_size=3).map(
+    lambda ts: Atom("p", tuple(ts))
+)
+
+
+class TestUnification:
+    @given(atom_pairs_same_shape)
+    @settings(max_examples=300)
+    def test_unifier_equalises(self, pair):
+        left, right = pair
+        subst = unify_atoms(left, right)
+        if subst is not None:
+            assert apply_substitution(left, subst) == apply_substitution(
+                right, subst
+            )
+
+    @given(atom_pairs_same_shape)
+    @settings(max_examples=300)
+    def test_symmetric_success(self, pair):
+        left, right = pair
+        assert (unify_atoms(left, right) is None) == (
+            unify_atoms(right, left) is None
+        )
+
+    @given(patterns)
+    def test_self_unification_is_trivial(self, atom):
+        subst = unify_atoms(atom, atom)
+        assert subst is not None
+        assert apply_substitution(atom, subst) == atom
+
+    @given(atom_pairs_same_shape)
+    @settings(max_examples=200)
+    def test_unifier_is_idempotent(self, pair):
+        left, right = pair
+        subst = unify_atoms(left, right)
+        if subst is not None:
+            once = apply_substitution(left, subst)
+            twice = apply_substitution(once, subst)
+            assert once == twice
+
+
+class TestMatch:
+    @given(patterns, ground_atoms)
+    @settings(max_examples=300)
+    def test_match_is_one_way_unification(self, pattern, ground):
+        if pattern.arity != ground.arity:
+            return
+        result = match(pattern, ground)
+        if result is not None:
+            assert apply_substitution(pattern, result) == ground
+        else:
+            # If matching fails, no substitution of the pattern's variables
+            # alone can produce the ground atom; full unification may still
+            # succeed only by binding nothing extra (impossible here), so
+            # unify failing is implied whenever variables are absent.
+            if not pattern.variables:
+                assert unify_atoms(pattern, ground) is None
+
+    @given(ground_atoms)
+    def test_ground_matches_itself(self, atom):
+        assert match(atom, atom) == {}

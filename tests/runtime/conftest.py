@@ -1,0 +1,67 @@
+"""Fixtures for runtime tests: a context over a small edge relation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.pcg import find_cliques
+from repro.dbms.schema import RelationSchema
+from repro.runtime.context import EvaluationContext
+
+EDGES = [("a", "b"), ("b", "c"), ("c", "d")]
+CYCLE_EDGES = [("a", "b"), ("b", "c"), ("c", "a")]
+
+ANCESTOR_PROGRAM = parse_program(
+    "anc(X, Y) :- edge(X, Y). anc(X, Y) :- edge(X, Z), anc(Z, Y)."
+)
+
+
+def closure_of(edges):
+    """Ground-truth transitive closure of an edge list."""
+    succ = {}
+    for s, t in edges:
+        succ.setdefault(s, set()).add(t)
+    out = set()
+    for start in succ:
+        frontier = list(succ[start])
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            out.add((start, node))
+            frontier.extend(succ.get(node, ()))
+    return out
+
+
+@pytest.fixture
+def edge_context(database):
+    """An EvaluationContext with the chain edges loaded as ``edge``."""
+    return make_context(database, EDGES)
+
+
+@pytest.fixture
+def cycle_context(database):
+    """An EvaluationContext with a 3-cycle loaded as ``edge``."""
+    return make_context(database, CYCLE_EDGES)
+
+
+def make_context(database, edges):
+    schema = RelationSchema("t_edge", ("TEXT", "TEXT"))
+    database.create_relation(schema)
+    database.insert_rows(schema, edges)
+    return EvaluationContext(
+        database,
+        {"edge": "t_edge"},
+        {"edge": ("TEXT", "TEXT"), "anc": ("TEXT", "TEXT")},
+    )
+
+
+@pytest.fixture
+def ancestor_clique():
+    """The single clique of the ancestor program."""
+    cliques = find_cliques(ANCESTOR_PROGRAM)
+    assert len(cliques) == 1
+    return cliques[0]

@@ -1,0 +1,131 @@
+"""Unit tests for the counting special operator."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.dbms.schema import RelationSchema
+from repro.errors import EvaluationError
+from repro.runtime.counting import (
+    counting_applies,
+    evaluate_counting,
+    recognize_counting_form,
+)
+
+SG = parse_program(
+    "sg(X, Y) :- flat(X, Y)."
+    "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."
+)
+ANCESTOR = parse_program(
+    "anc(X, Y) :- e(X, Y). anc(X, Y) :- e(X, Z), anc(Z, Y)."
+)
+
+
+class TestRecognizer:
+    def test_same_generation_form(self):
+        form = recognize_counting_form(SG, "sg")
+        assert form is not None
+        assert (form.up, form.flat, form.down) == ("up", "flat", "down")
+        assert not form.is_ancestor_form
+
+    def test_ancestor_form(self):
+        form = recognize_counting_form(ANCESTOR, "anc")
+        assert form is not None
+        assert form.is_ancestor_form
+        assert form.up == form.flat == "e"
+
+    def test_right_linear_rejected(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), e(Z, Y)."
+        )
+        assert recognize_counting_form(program, "p") is None
+
+    def test_nonlinear_rejected(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), p(Z, Y)."
+        )
+        assert recognize_counting_form(program, "p") is None
+
+    def test_extra_rules_rejected(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Y) :- f(X, Y)."
+            "p(X, Y) :- e(X, Z), p(Z, Y)."
+        )
+        assert recognize_counting_form(program, "p") is None
+
+    def test_counting_applies(self):
+        assert counting_applies(SG, "sg")
+        assert not counting_applies(SG, "flat")
+
+
+def load(database, name, rows):
+    schema = RelationSchema(name, ("TEXT", "TEXT"))
+    database.create_relation(schema)
+    database.insert_rows(schema, rows)
+
+
+class TestEvaluation:
+    def test_same_generation(self, database):
+        load(database, "t_up", [("ann", "carol"), ("carol", "eve")])
+        load(database, "t_flat", [("carol", "dave")])
+        load(database, "t_down", [("dave", "frank")])
+        form = recognize_counting_form(SG, "sg")
+        result = evaluate_counting(
+            database,
+            form,
+            {"up": "t_up", "flat": "t_flat", "down": "t_down"},
+            "ann",
+        )
+        assert result.rows == {("frank",)}
+        assert result.up_iterations == 2
+
+    def test_matches_bottom_up_on_layered_data(self, database):
+        # Compare against the full testbed evaluation of the same program.
+        up = [(f"a{i}", f"a{i + 1}") for i in range(4)]
+        flat = [("a4", "b4"), ("a2", "b2")]
+        down = [(f"b{i + 1}", f"b{i}") for i in range(4)]
+        load(database, "t_up", up)
+        load(database, "t_flat", flat)
+        load(database, "t_down", down)
+        form = recognize_counting_form(SG, "sg")
+        result = evaluate_counting(
+            database,
+            form,
+            {"up": "t_up", "flat": "t_flat", "down": "t_down"},
+            "a0",
+        )
+
+        from repro import Testbed
+
+        with Testbed() as tb:
+            tb.define(str(SG.rules[0]) + str(SG.rules[1]))
+            for name, rows in (("up", up), ("flat", flat), ("down", down)):
+                tb.define_base_relation(name, ("TEXT", "TEXT"))
+                tb.load_facts(name, rows)
+            expected = set(tb.query("?- sg('a0', Y).").rows)
+        assert result.rows == expected
+
+    def test_ancestor_form(self, database):
+        load(database, "t_e", [("a", "b"), ("b", "c"), ("c", "d")])
+        form = recognize_counting_form(ANCESTOR, "anc")
+        result = evaluate_counting(database, form, {"e": "t_e"}, "a")
+        assert result.rows == {("b",), ("c",), ("d",)}
+
+    def test_no_answers(self, database):
+        load(database, "t_e", [("x", "y")])
+        form = recognize_counting_form(ANCESTOR, "anc")
+        result = evaluate_counting(database, form, {"e": "t_e"}, "unknown")
+        assert result.rows == set()
+        assert result.up_iterations == 0
+
+    def test_cyclic_up_detected(self, database):
+        load(database, "t_e", [("a", "b"), ("b", "a")])
+        form = recognize_counting_form(ANCESTOR, "anc")
+        with pytest.raises(EvaluationError, match="cyclic"):
+            evaluate_counting(database, form, {"e": "t_e"}, "a")
+
+    def test_temporaries_cleaned_up(self, database):
+        load(database, "t_e", [("a", "b")])
+        form = recognize_counting_form(ANCESTOR, "anc")
+        evaluate_counting(database, form, {"e": "t_e"}, "a")
+        assert not database.table_exists("cnt_counting")
+        assert not database.table_exists("ans_counting")

@@ -1,0 +1,95 @@
+"""Unit tests for non-recursive predicate evaluation."""
+
+from repro.datalog.parser import parse_clause
+from repro.dbms.sqlgen import compile_rule_body
+from repro.runtime.relalg import (
+    compile_rules,
+    evaluate_nonrecursive,
+    evaluate_rule_into,
+)
+
+from .conftest import EDGES
+
+
+class TestEvaluateNonrecursive:
+    def test_single_rule_projection(self, edge_context):
+        edge_context.register_types("heads", ("TEXT",))
+        count = evaluate_nonrecursive(
+            edge_context, "heads", [parse_clause("heads(X) :- edge(X, Y).")]
+        )
+        rows = set(edge_context.database.fetch_all(edge_context.table_of("heads")))
+        assert rows == {("a",), ("b",), ("c",)}
+        assert count == 3
+
+    def test_union_of_rules(self, edge_context):
+        edge_context.register_types("ends", ("TEXT",))
+        evaluate_nonrecursive(
+            edge_context,
+            "ends",
+            [
+                parse_clause("ends(X) :- edge(X, Y)."),
+                parse_clause("ends(Y) :- edge(X, Y)."),
+            ],
+        )
+        rows = set(edge_context.database.fetch_all(edge_context.table_of("ends")))
+        assert rows == {("a",), ("b",), ("c",), ("d",)}
+
+    def test_duplicates_across_rules_eliminated(self, edge_context):
+        edge_context.register_types("dup", ("TEXT", "TEXT"))
+        count = evaluate_nonrecursive(
+            edge_context,
+            "dup",
+            [
+                parse_clause("dup(X, Y) :- edge(X, Y)."),
+                parse_clause("dup(X, Y) :- edge(X, Y)."),
+            ],
+        )
+        assert count == len(EDGES)
+
+    def test_seed_rows_included(self, edge_context):
+        edge_context.register_types("s", ("TEXT",))
+        edge_context.seed_rows["s"] = (("seeded",),)
+        evaluate_nonrecursive(
+            edge_context, "s", [parse_clause("s(X) :- edge(X, 'b').")]
+        )
+        rows = set(edge_context.database.fetch_all(edge_context.table_of("s")))
+        assert rows == {("seeded",), ("a",)}
+
+    def test_counters_updated(self, edge_context):
+        edge_context.register_types("h", ("TEXT",))
+        evaluate_nonrecursive(
+            edge_context, "h", [parse_clause("h(X) :- edge(X, Y).")]
+        )
+        assert edge_context.counters.tuples_by_predicate["h"] == 3
+
+
+class TestEvaluateRuleInto:
+    def test_returns_new_tuple_count(self, edge_context):
+        edge_context.register_types("t", ("TEXT",))
+        edge_context.materialise("t")
+        compiled = compile_rule_body(parse_clause("t(X) :- edge(X, Y)."))
+        first = evaluate_rule_into(edge_context, "t", compiled)
+        second = evaluate_rule_into(edge_context, "t", compiled)
+        assert first == 3
+        assert second == 0  # everything already present
+
+    def test_override_redirects_occurrence(self, edge_context, database):
+        from repro.dbms.schema import RelationSchema
+
+        schema = RelationSchema("small", ("TEXT", "TEXT"))
+        database.create_relation(schema)
+        database.insert_rows(schema, [("a", "b")])
+        edge_context.register_types("t", ("TEXT", "TEXT"))
+        edge_context.materialise("t")
+        compiled = compile_rule_body(parse_clause("t(X, Y) :- edge(X, Y)."))
+        evaluate_rule_into(edge_context, "t", compiled, overrides={0: "small"})
+        assert edge_context.database.fetch_all(edge_context.table_of("t")) == [
+            ("a", "b")
+        ]
+
+
+def test_compile_rules_pairs():
+    clauses = [parse_clause("p(X) :- q(X)."), parse_clause("p(X) :- r(X).")]
+    pairs = compile_rules(clauses)
+    assert [c for c, __ in pairs] == clauses
+    assert all(compiled.sql.startswith("SELECT DISTINCT") for __, compiled in pairs)

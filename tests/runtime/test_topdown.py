@@ -1,0 +1,122 @@
+"""Unit tests for the tabled top-down evaluator."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.runtime.topdown import TopDownEvaluator, evaluate_top_down
+
+ANCESTOR = parse_program(
+    "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+)
+FACTS = {"par": [("a", "b"), ("b", "c"), ("c", "d")]}
+
+
+class TestBasics:
+    def test_base_query(self):
+        answers = evaluate_top_down(ANCESTOR, FACTS, parse_query("?- par('a', X)."))
+        assert answers == {("b",)}
+
+    def test_recursive_bound_query(self):
+        answers = evaluate_top_down(ANCESTOR, FACTS, parse_query("?- anc('a', X)."))
+        assert answers == {("b",), ("c",), ("d",)}
+
+    def test_fully_free_query(self):
+        answers = evaluate_top_down(ANCESTOR, FACTS, parse_query("?- anc(X, Y)."))
+        assert answers == {
+            ("a", "b"), ("a", "c"), ("a", "d"),
+            ("b", "c"), ("b", "d"), ("c", "d"),
+        }
+
+    def test_second_argument_bound(self):
+        answers = evaluate_top_down(ANCESTOR, FACTS, parse_query("?- anc(X, 'd')."))
+        assert answers == {("a",), ("b",), ("c",)}
+
+    def test_ground_query(self):
+        assert evaluate_top_down(ANCESTOR, FACTS, parse_query("?- anc('a', 'd')."))
+        assert (
+            evaluate_top_down(ANCESTOR, FACTS, parse_query("?- anc('d', 'a')."))
+            == set()
+        )
+
+    def test_cycle_terminates(self):
+        facts = {"par": [("a", "b"), ("b", "a")]}
+        answers = evaluate_top_down(ANCESTOR, facts, parse_query("?- anc('a', X)."))
+        assert answers == {("a",), ("b",)}
+
+    def test_facts_in_program(self):
+        program = parse_program(
+            "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+            "par(a, b). par(b, c)."
+        )
+        answers = evaluate_top_down(program, {}, parse_query("?- anc('a', X)."))
+        assert answers == {("b",), ("c",)}
+
+
+class TestMutualRecursion:
+    PROGRAM = parse_program(
+        """
+        even(X, Y) :- edge(X, Z), odd(Z, Y).
+        odd(X, Y) :- edge(X, Y).
+        odd(X, Y) :- edge(X, Z), even(Z, Y).
+        """
+    )
+
+    def test_odd_and_even_paths(self):
+        facts = {"edge": [("a", "b"), ("b", "c"), ("c", "d")]}
+        odd = evaluate_top_down(self.PROGRAM, facts, parse_query("?- odd('a', X)."))
+        even = evaluate_top_down(self.PROGRAM, facts, parse_query("?- even('a', X)."))
+        assert odd == {("b",), ("d",)}
+        assert even == {("c",)}
+
+    def test_mutual_recursion_on_cycle(self):
+        facts = {"edge": [("a", "b"), ("b", "a")]}
+        odd = evaluate_top_down(self.PROGRAM, facts, parse_query("?- odd('a', X)."))
+        # Odd-length paths from a on a 2-cycle reach b (1, 3, ... hops).
+        assert odd == {("b",)}
+
+
+class TestConjunctionsAndJoins:
+    def test_multi_goal_query(self):
+        answers = evaluate_top_down(
+            ANCESTOR, FACTS, parse_query("?- anc('a', X), anc(X, 'd').")
+        )
+        assert answers == {("b",), ("c",)}
+
+    def test_shared_variable_join(self):
+        program = parse_program("sib(X, Y) :- par(P, X), par(P, Y).")
+        facts = {"par": [("p", "x"), ("p", "y"), ("q", "z")]}
+        answers = evaluate_top_down(program, facts, parse_query("?- sib('x', Y)."))
+        assert answers == {("x",), ("y",)}
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        program = parse_program(
+            "leaf(X) :- node(X), not haschild(X). haschild(X) :- par(X, Y)."
+        )
+        facts = {
+            "node": [("a",), ("b",), ("c",)],
+            "par": [("a", "b"), ("b", "c")],
+        }
+        answers = evaluate_top_down(program, facts, parse_query("?- leaf(X)."))
+        assert answers == {("c",)}
+
+    def test_nonground_negation_rejected(self):
+        program = parse_program("p(X) :- not q(X), r(X).")
+        with pytest.raises(ValueError):
+            evaluate_top_down(program, {"q": [], "r": [("a",)]}, parse_query("?- p(X)."))
+
+
+class TestEvaluatorReuse:
+    def test_tables_shared_across_queries(self):
+        evaluator = TopDownEvaluator(ANCESTOR, FACTS)
+        first = evaluator.query(parse_query("?- anc('a', X)."))
+        second = evaluator.query(parse_query("?- anc('a', X)."))
+        assert first == second
+
+    def test_different_call_patterns_coexist(self):
+        evaluator = TopDownEvaluator(ANCESTOR, FACTS)
+        bound = evaluator.query(parse_query("?- anc('b', X)."))
+        free = evaluator.query(parse_query("?- anc(X, Y)."))
+        assert bound == {("c",), ("d",)}
+        assert len(free) == 6

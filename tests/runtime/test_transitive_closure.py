@@ -1,0 +1,102 @@
+"""Unit tests for the specialised transitive-closure operators."""
+
+from repro.dbms.schema import RelationSchema
+from repro.runtime.transitive_closure import (
+    incremental_closure_update,
+    reachable_from,
+    transitive_closure_python,
+    transitive_closure_sql,
+)
+
+from .conftest import CYCLE_EDGES, EDGES, closure_of
+
+
+class TestPythonClosure:
+    def test_chain(self):
+        assert transitive_closure_python(EDGES) == closure_of(EDGES)
+
+    def test_cycle_includes_self_loops(self):
+        closure = transitive_closure_python(CYCLE_EDGES)
+        assert ("a", "a") in closure
+        assert len(closure) == 9
+
+    def test_empty(self):
+        assert transitive_closure_python([]) == set()
+
+    def test_diamond(self):
+        edges = [("s", "l"), ("s", "r"), ("l", "t"), ("r", "t")]
+        closure = transitive_closure_python(edges)
+        assert ("s", "t") in closure
+        assert len(closure) == 5
+
+
+class TestSqlClosure:
+    def load(self, database, edges):
+        schema = RelationSchema("edges", ("TEXT", "TEXT"))
+        database.create_relation(schema)
+        database.insert_rows(schema, edges)
+
+    def test_full_closure(self, database):
+        self.load(database, EDGES)
+        count = transitive_closure_sql(database, "edges", "out")
+        assert count == len(closure_of(EDGES))
+        assert set(database.fetch_all("out")) == closure_of(EDGES)
+
+    def test_cyclic_terminates(self, database):
+        self.load(database, CYCLE_EDGES)
+        count = transitive_closure_sql(database, "edges", "out")
+        assert count == 9
+
+    def test_source_restricted(self, database):
+        self.load(database, EDGES)
+        transitive_closure_sql(database, "edges", "out", source_value="b")
+        rows = set(database.fetch_all("out"))
+        assert rows == {("b", "c"), ("b", "d")}
+
+    def test_target_replaced_on_rerun(self, database):
+        self.load(database, EDGES)
+        transitive_closure_sql(database, "edges", "out")
+        count = transitive_closure_sql(database, "edges", "out", source_value="c")
+        assert count == 1
+
+
+class TestIncrementalClosure:
+    def test_from_empty_matches_batch(self):
+        added = incremental_closure_update(set(), EDGES)
+        assert added == closure_of(EDGES)
+
+    def test_incremental_equals_recompute(self):
+        base = closure_of(EDGES)
+        new_edges = [("d", "e"), ("x", "a")]
+        added = incremental_closure_update(base, new_edges)
+        assert base | added == closure_of(list(EDGES) + new_edges)
+
+    def test_added_disjoint_from_existing(self):
+        base = closure_of(EDGES)
+        added = incremental_closure_update(base, [("a", "b")])
+        assert added == set()
+
+    def test_edge_closing_a_cycle(self):
+        base = closure_of(EDGES)  # a->b->c->d chain
+        added = incremental_closure_update(base, [("d", "a")])
+        total = base | added
+        assert total == closure_of(list(EDGES) + [("d", "a")])
+        assert ("a", "a") in total
+
+    def test_order_independent(self):
+        new_edges = [("d", "e"), ("e", "f"), ("f", "a")]
+        one = closure_of(EDGES) | incremental_closure_update(
+            closure_of(EDGES), new_edges
+        )
+        two = closure_of(EDGES) | incremental_closure_update(
+            closure_of(EDGES), list(reversed(new_edges))
+        )
+        assert one == two
+
+
+def test_reachable_from():
+    closure = closure_of(EDGES)
+    assert reachable_from(closure, ["a"]) == {"b", "c", "d"}
+    assert reachable_from(closure, ["c"]) == {"d"}
+    assert reachable_from(closure, ["a", "c"]) == {"b", "c", "d"}
+    assert reachable_from(closure, ["missing"]) == set()

@@ -1,0 +1,49 @@
+"""Unit tests for the :relations, :facts, and :simplify UI commands."""
+
+import pytest
+
+from repro.ui.commands import CommandInterpreter
+
+
+@pytest.fixture
+def interpreter(testbed):
+    return CommandInterpreter(testbed)
+
+
+class TestRelations:
+    def test_empty(self, interpreter):
+        assert interpreter.execute(":relations") == "no base relations"
+
+    def test_lists_types_and_sizes(self, interpreter):
+        interpreter.execute("parent(a, b). parent(b, c). score(a, 5).")
+        response = interpreter.execute(":relations")
+        assert "parent(TEXT, TEXT): 2 tuples" in response
+        assert "score(TEXT, INTEGER): 1 tuples" in response
+
+
+class TestFacts:
+    def test_shows_tuples(self, interpreter):
+        interpreter.execute("parent(a, b). parent(b, c).")
+        response = interpreter.execute(":facts parent")
+        assert "(a, b)" in response
+        assert "2 tuples" in response
+
+    def test_requires_argument(self, interpreter):
+        assert "usage" in interpreter.execute(":facts")
+
+    def test_unknown_relation(self, interpreter):
+        assert interpreter.execute(":facts ghost").startswith("error:")
+
+
+class TestSimplify:
+    def test_nothing_redundant(self, interpreter):
+        interpreter.execute("p(X) :- q(X, Y).")
+        assert interpreter.execute(":simplify") == "nothing redundant"
+
+    def test_removes_subsumed(self, interpreter):
+        interpreter.execute("p(X) :- q(X, Y).")
+        interpreter.execute("p(X) :- q(X, Y), r(X).")
+        response = interpreter.execute(":simplify")
+        assert "removed 1 redundant" in response
+        assert "r(X)" in response
+        assert "p(X) :- q(X, Y)." in interpreter.execute(":workspace")

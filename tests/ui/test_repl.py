@@ -1,0 +1,92 @@
+"""Integration tests for the REPL loop and the python -m repro entry point."""
+
+import io
+import subprocess
+import sys
+
+from repro.km.session import Testbed
+from repro.ui.repl import run_repl
+
+
+def run_script(script: str, **testbed_kwargs) -> str:
+    out = io.StringIO()
+    with Testbed(**testbed_kwargs) as testbed:
+        run_repl(testbed, io.StringIO(script), out, interactive=False)
+    return out.getvalue()
+
+
+class TestRunRepl:
+    def test_full_session(self):
+        output = run_script(
+            "parent(a, b).\n"
+            "parent(b, c).\n"
+            "anc(X, Y) :- parent(X, Y).\n"
+            "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+            "?- anc(a, X).\n"
+            ":quit\n"
+        )
+        assert "(b)" in output
+        assert "(c)" in output
+        assert "2 answers" in output
+        assert "bye" in output
+
+    def test_multiline_clauses(self):
+        output = run_script(
+            "anc(X, Y) :-\n"
+            "    parent(X,\n"
+            "    Y).\n"
+            "parent(a, b).\n"
+            "?- anc(a, X).\n"
+        )
+        assert "1 answer" in output
+
+    def test_eof_terminates(self):
+        output = run_script("parent(a, b).\n")
+        assert "added 1 fact" in output
+
+    def test_errors_do_not_kill_session(self):
+        output = run_script(
+            "?- missing(X).\n"
+            "parent(a, b).\n"
+            "?- parent(a, X).\n"
+        )
+        assert "error:" in output
+        assert "1 answer" in output
+
+
+class TestMainEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        rules = tmp_path / "kb.dkb"
+        rules.write_text(
+            "parent(a, b). parent(b, c).\n"
+            "anc(X, Y) :- parent(X, Y).\n"
+            "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+        )
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "--load", str(rules)],
+            input="?- anc(a, X).\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode == 0, process.stderr
+        assert "2 answers" in process.stdout
+
+    def test_on_disk_database_persists(self, tmp_path):
+        db = str(tmp_path / "dkb.sqlite")
+        first = subprocess.run(
+            [sys.executable, "-m", "repro", db],
+            input="p(X, Y) :- e(X, Y).\ne(a, b).\n:update\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert "stored 1 rules" in first.stdout
+        second = subprocess.run(
+            [sys.executable, "-m", "repro", db],
+            input="?- p(a, X).\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert "1 answer" in second.stdout

@@ -1,0 +1,45 @@
+"""Unit tests for the :save and :check UI commands."""
+
+import pytest
+
+from repro.ui.commands import CommandInterpreter
+
+
+@pytest.fixture
+def interpreter(testbed):
+    return CommandInterpreter(testbed)
+
+
+class TestSave:
+    def test_save_round_trips_through_load(self, interpreter, tmp_path):
+        interpreter.execute("p(X, Y) :- q(X, Z), r(Z, Y).")
+        interpreter.execute("s(X) :- p(X, X).")
+        path = tmp_path / "rules.dkb"
+        response = interpreter.execute(f":save {path}")
+        assert "saved 2 rules" in response
+
+        interpreter.execute(":clear")
+        assert "loaded 2 clauses" in interpreter.execute(f":load {path}")
+        assert "p(X, Y)" in interpreter.execute(":workspace")
+
+    def test_save_requires_filename(self, interpreter):
+        assert "usage" in interpreter.execute(":save")
+
+    def test_save_io_error(self, interpreter):
+        assert interpreter.execute(":save /no/such/dir/file").startswith(
+            "error:"
+        )
+
+
+class TestCheck:
+    def test_consistent(self, interpreter):
+        interpreter.execute("p(a, b).")
+        interpreter.execute("inconsistent(X) :- p(X, X).")
+        assert "consistent" in interpreter.execute(":check")
+
+    def test_violations_listed(self, interpreter):
+        interpreter.execute("p(a, a).")
+        interpreter.execute("inconsistent(X) :- p(X, X).")
+        response = interpreter.execute(":check")
+        assert "violated" in response
+        assert "('a',)" in response

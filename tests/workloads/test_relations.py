@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic relation generators (paper Table 2).
+
+The paper's tuple-count formulas are asserted exactly: n lists of length l
+give n(l-1) tuples; n full binary trees of depth d give n(2^d - 2) tuples.
+"""
+
+import pytest
+
+from repro.workloads.relations import (
+    first_node_at_level,
+    full_binary_trees,
+    iter_descendants,
+    lists,
+    random_cyclic_graph,
+    random_dag,
+    subtree_size,
+    tree_node,
+)
+from repro.errors import WorkloadError
+
+
+class TestLists:
+    @pytest.mark.parametrize("count,length", [(1, 2), (3, 5), (10, 100)])
+    def test_paper_tuple_count_formula(self, count, length):
+        relation = lists(count, length)
+        assert relation.tuple_count == count * (length - 1)
+
+    def test_disjoint(self):
+        relation = lists(2, 3)
+        # No node appears in two lists.
+        first = {n for e in relation.edges[:2] for n in e}
+        second = {n for e in relation.edges[2:] for n in e}
+        assert not first & second
+
+    def test_chain_structure(self):
+        relation = lists(1, 4)
+        descendants = list(iter_descendants(relation, relation.edges[0][0]))
+        assert len(descendants) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            lists(0, 5)
+        with pytest.raises(WorkloadError):
+            lists(1, 1)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("count,depth", [(1, 2), (1, 6), (3, 4)])
+    def test_paper_tuple_count_formula(self, count, depth):
+        relation = full_binary_trees(count, depth)
+        assert relation.tuple_count == count * (2**depth - 2)
+
+    def test_node_count(self):
+        relation = full_binary_trees(1, 5)
+        assert len(relation.nodes) == 2**5 - 1
+
+    def test_heap_indexing(self):
+        relation = full_binary_trees(1, 3)
+        assert (tree_node("t", 1), tree_node("t", 2)) in relation.edges
+        assert (tree_node("t", 1), tree_node("t", 3)) in relation.edges
+        assert (tree_node("t", 2), tree_node("t", 4)) in relation.edges
+
+    def test_subtree_size_formula(self):
+        # Root of a depth-5 tree has all other nodes as descendants.
+        assert subtree_size(5, 1) == 2**5 - 2
+        # A leaf has none.
+        assert subtree_size(5, 5) == 0
+        relation = full_binary_trees(1, 5)
+        for level in range(1, 6):
+            root = tree_node("t", first_node_at_level(level))
+            descendants = list(iter_descendants(relation, root))
+            assert len(descendants) == subtree_size(5, level)
+
+    def test_multiple_trees_disjoint(self):
+        relation = full_binary_trees(2, 3)
+        roots = {tree_node("t0_", 1), tree_node("t1_", 1)}
+        for root in roots:
+            assert len(list(iter_descendants(relation, root))) == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            full_binary_trees(1, 1)
+        with pytest.raises(WorkloadError):
+            subtree_size(5, 6)
+
+
+class TestDag:
+    def test_acyclic(self):
+        relation = random_dag(200, 6, fan_out=2, seed=7)
+        # No node can reach itself.
+        for node in relation.nodes:
+            assert node not in set(iter_descendants(relation, node))
+
+    def test_deterministic_by_seed(self):
+        one = random_dag(100, 5, seed=3)
+        two = random_dag(100, 5, seed=3)
+        assert one.edges == two.edges
+
+    def test_different_seeds_differ(self):
+        assert random_dag(100, 5, seed=1).edges != random_dag(100, 5, seed=2).edges
+
+    def test_tuple_budget_respected(self):
+        relation = random_dag(150, 5, fan_out=2, seed=0)
+        assert 0.5 * 150 <= relation.tuple_count <= 150
+
+    def test_layered_path_length(self):
+        relation = random_dag(60, 4, seed=0)
+        # Edges only go from layer i to layer i+1, so the longest path has
+        # at most 4 nodes.
+        for source, target in relation.edges:
+            s_layer = int(source[1:].split("_")[0])
+            t_layer = int(target[1:].split("_")[0])
+            assert t_layer == s_layer + 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            random_dag(10, 1)
+
+
+class TestCyclicGraph:
+    def test_contains_cycle(self):
+        relation = random_cyclic_graph(120, 6, cycle_count=4, seed=1)
+        cyclic_nodes = [
+            n for n in relation.nodes if n in set(iter_descendants(relation, n))
+        ]
+        assert cyclic_nodes
+
+    def test_cycle_count_parameter(self):
+        base = random_dag(max(120 - 4, 5), 6, 2, 1, "c")
+        relation = random_cyclic_graph(120, 6, cycle_count=4, fan_out=2, seed=1)
+        back_edges = set(relation.edges) - set(base.edges)
+        assert len(back_edges) == 4
+
+    def test_invalid_cycle_length(self):
+        with pytest.raises(WorkloadError):
+            random_cyclic_graph(100, 4, 2, cycle_length=9)
+
+
+class TestDescendants:
+    def test_empty_for_leaf(self):
+        relation = lists(1, 3)
+        last = relation.edges[-1][1]
+        assert list(iter_descendants(relation, last)) == []
+
+    def test_cycle_terminates(self):
+        relation = random_cyclic_graph(30, 4, cycle_count=2, seed=5)
+        for node in list(relation.nodes)[:5]:
+            list(iter_descendants(relation, node))  # must not hang

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic rule-base generator."""
+
+import pytest
+
+from repro.workloads.rulegen import (
+    make_module,
+    make_predicate_pool,
+    make_rule_base,
+)
+from repro.errors import WorkloadError
+
+
+class TestMakeModule:
+    def test_chain_rule_count(self):
+        module = make_module("m", 5)
+        assert module.rule_count == 5
+        assert len(module.predicates) == 5
+
+    def test_rules_per_predicate(self):
+        module = make_module("m", 4, rules_per_predicate=2)
+        # 3 chained predicates x 2 variants + 1 terminal rule.
+        assert module.rule_count == 7
+
+    def test_single_predicate_module(self):
+        module = make_module("m", 1)
+        assert module.rule_count == 1
+        assert module.rules[0].body_predicates == (module.base_predicate,)
+
+    def test_root_reaches_whole_module(self):
+        from repro.datalog.clauses import Program
+        from repro.datalog.pcg import PredicateConnectionGraph
+
+        module = make_module("m", 4)
+        pcg = PredicateConnectionGraph(Program(module.rules).rules)
+        reached = pcg.reachable_from(module.root_predicate)
+        assert set(module.predicates[1:]) <= reached
+        assert module.base_predicate in reached
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            make_module("m", 0)
+
+
+class TestMakeRuleBase:
+    @pytest.mark.parametrize("total,relevant", [(10, 1), (60, 7), (189, 20)])
+    def test_exact_counts(self, total, relevant):
+        rule_base = make_rule_base(total, relevant)
+        assert rule_base.total_rules == total
+        assert rule_base.relevant_rules == relevant
+
+    def test_query_module_isolated(self):
+        from repro.datalog.pcg import PredicateConnectionGraph
+
+        rule_base = make_rule_base(30, 5)
+        pcg = PredicateConnectionGraph(rule_base.program.rules)
+        reached = pcg.reachable_from(rule_base.query_module.root_predicate)
+        filler_predicates = {
+            p for m in rule_base.filler_modules for p in m.predicates
+        }
+        assert not reached & filler_predicates
+
+    def test_relevant_predicates_parameter(self):
+        rule_base = make_rule_base(50, 7, relevant_predicates=4)
+        # 3 chained links x 2 rules each + terminal = 7 rules over 4 preds.
+        assert rule_base.relevant_rules == 7
+        assert rule_base.relevant_predicates == 4
+
+    def test_query_text_is_parseable(self):
+        from repro.datalog.parser import parse_query
+
+        rule_base = make_rule_base(10, 3)
+        query = parse_query(rule_base.query_text())
+        assert query.goals[0].predicate == rule_base.query_module.root_predicate
+
+    def test_base_predicates_listed(self):
+        rule_base = make_rule_base(12, 2)
+        assert rule_base.query_module.base_predicate in rule_base.base_predicates
+        assert len(rule_base.base_predicates) == 1 + len(rule_base.filler_modules)
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_rule_base(5, 10)
+        with pytest.raises(WorkloadError):
+            make_rule_base(10, 2, relevant_predicates=1)
+        with pytest.raises(WorkloadError):
+            # 7 rules cannot spread evenly over 3 chained predicates.
+            make_rule_base(20, 8, relevant_predicates=4)
+
+
+class TestPredicatePool:
+    def test_counts(self):
+        rule_base = make_predicate_pool(40, 4)
+        assert rule_base.total_predicates == 40
+        assert rule_base.relevant_predicates == 4
+        assert rule_base.total_rules == 40

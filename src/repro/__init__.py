@@ -53,7 +53,7 @@ from .errors import (
     WorkloadError,
 )
 from .km import QueryResult, Testbed
-from .runtime import LfpStrategy
+from .runtime import FastPathConfig, LfpStrategy
 
 __version__ = "1.0.0"
 
@@ -64,6 +64,7 @@ __all__ = [
     "CodeGenerationError",
     "Constant",
     "EvaluationError",
+    "FastPathConfig",
     "LfpStrategy",
     "OptimizationError",
     "ParseError",

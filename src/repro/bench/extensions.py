@@ -346,3 +346,120 @@ def format_parallel_simulation(schedules) -> str:
             f"{schedule.serial_fraction * 100:>12.1f}%"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fast-path layer A/B: statement cache + iteration batching + delta indexes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FastPathPoint:
+    """One selectivity level measured with the fast path off and on.
+
+    The slow run reproduces the seed behaviour (no statement cache,
+    per-iteration CREATE/DROP, autocommit, no derived-relation indexes); the
+    fast run enables the whole fast-path layer.  Both must compute identical
+    answers — the benchmark asserts it.
+    """
+
+    label: str
+    selectivity: float
+    relevant_facts: int
+    total_facts: int
+    slow_seconds: float
+    fast_seconds: float
+    answers: int
+    iterations: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def speedup(self) -> float:
+        """Slow-path over fast-path wall time."""
+        return self.slow_seconds / self.fast_seconds if self.fast_seconds else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Statement-cache hit rate during the fast run."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+def run_fastpath_ab(
+    depth: int = 9,
+    levels: tuple[int, ...] | None = None,
+    repetitions: int = 3,
+    strategy=None,
+) -> list[FastPathPoint]:
+    """A/B the fast-path layer on the fig-12 semi-naive ancestor workload.
+
+    For each query-root level of the full binary tree, executes the compiled
+    ancestor program with the fast path off (statement cache disabled — the
+    seed configuration) and on (cache + batching + scratch reuse + index
+    advice), reporting median wall times, the cache counters, and the
+    answers (asserted identical).
+    """
+    from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE
+    from ..runtime.context import FastPathConfig
+    from ..runtime.program import LfpStrategy
+    from ..workloads.queries import ANCESTOR_RULES, load_parent_relation, selectivity_of
+
+    strategy = strategy or LfpStrategy.SEMINAIVE
+    if levels is None:
+        levels = tuple(range(1, depth))
+    relation = full_binary_trees(1, depth)
+
+    points: list[FastPathPoint] = []
+    for level in levels:
+        root = tree_node("t", first_node_at_level(level))
+        query = ancestor_query(root)
+        sample = selectivity_of(relation, root)
+
+        results: dict[str, tuple[float, object, int, int]] = {}
+        for mode in ("slow", "fast"):
+            fast = mode == "fast"
+            testbed = Testbed(
+                statement_cache_size=DEFAULT_STATEMENT_CACHE_SIZE if fast else 0
+            )
+            testbed.define(ANCESTOR_RULES)
+            load_parent_relation(testbed, relation)
+            fastpath = FastPathConfig.enabled() if fast else None
+            compiled = testbed.compile_query(query, strategy=strategy)
+            testbed.database.statistics.reset()
+            run = timed(
+                lambda: compiled.program.execute(
+                    testbed.database, testbed.catalog, fastpath=fastpath
+                ),
+                repetitions,
+            )
+            total = testbed.database.statistics.total
+            results[mode] = (
+                run.seconds,
+                run.value,
+                total.cache_hits,
+                total.cache_misses,
+            )
+            testbed.close()
+
+        slow_seconds, slow_exec, __, __ = results["slow"]
+        fast_seconds, fast_exec, hits, misses = results["fast"]
+        if set(slow_exec.rows) != set(fast_exec.rows):
+            raise AssertionError(
+                f"fast path changed the answers at level {level}"
+            )
+        points.append(
+            FastPathPoint(
+                f"level-{level}",
+                sample.selectivity,
+                sample.relevant_facts,
+                sample.total_facts,
+                slow_seconds,
+                fast_seconds,
+                len(fast_exec.rows),
+                fast_exec.total_iterations,
+                hits,
+                misses,
+            )
+        )
+    return points

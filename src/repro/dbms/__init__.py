@@ -6,8 +6,15 @@ SQL statements, which :class:`~repro.dbms.engine.Database` counts, times, and
 attributes to named phases for the experiment harness.
 """
 
+from .advisor import (
+    IndexAdvice,
+    advise_clique_indexes,
+    apply_index_advice,
+    join_column_advice,
+    set_membership_advice,
+)
 from .catalog import ExtensionalCatalog, fact_table_name
-from .engine import Database, PhaseStats, Statistics
+from .engine import Database, PhaseStats, StatementCache, Statistics
 from .schema import RelationSchema, column_name, column_names, quote_identifier
 from .sqlgen import (
     CompiledSelect,
@@ -21,9 +28,13 @@ __all__ = [
     "CompiledSelect",
     "Database",
     "ExtensionalCatalog",
+    "IndexAdvice",
     "PhaseStats",
     "RelationSchema",
+    "StatementCache",
     "Statistics",
+    "advise_clique_indexes",
+    "apply_index_advice",
     "column_name",
     "column_names",
     "compile_rule_body",
@@ -31,5 +42,7 @@ __all__ = [
     "difference_sql",
     "fact_table_name",
     "insert_new_tuples_sql",
+    "join_column_advice",
     "quote_identifier",
+    "set_membership_advice",
 ]

@@ -1,0 +1,113 @@
+"""The fast-path index advisor (paper conclusion 6c).
+
+The paper argues the DBMS should "adapt access paths to the relation sizes";
+its testbed could not, because the derived and delta relations live outside
+the catalog the commercial DBMS indexes.  This module closes that gap: given
+the compiled SELECTs of a clique, it derives which columns of the derived
+relations participate in join equalities (from
+:attr:`repro.dbms.sqlgen.CompiledSelect.join_columns`) and proposes indexes —
+plus one full-row *set-membership* index per result relation, which serves
+the ``EXCEPT`` / ``IN (SELECT …)`` set-difference probes that dominate the
+paper's Test 6 termination costs.
+
+The advisor only proposes; :func:`apply_index_advice` creates.  The LFP
+strategies consult it once, before the iteration loop, and only when the
+evaluation context's fast path enables it — so the benchmarks can measure
+the crossover between index maintenance cost and probe savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .engine import Database
+from .schema import column_name
+from .sqlgen import CompiledSelect
+
+
+@dataclass(frozen=True)
+class IndexAdvice:
+    """One proposed index on a derived or delta relation."""
+
+    table: str
+    columns: tuple[str, ...]
+
+    @property
+    def index_name(self) -> str:
+        """Deterministic index name (stable across advisor runs)."""
+        return f"fpidx_{self.table}_{'_'.join(self.columns)}"
+
+
+def join_column_advice(
+    selects: Iterable[CompiledSelect], predicate: str, table: str
+) -> list[IndexAdvice]:
+    """Indexes covering ``predicate``'s join columns wherever it occurs.
+
+    Every slot of every compiled select that reads ``predicate`` contributes
+    its join-equality columns; each distinct column combination becomes one
+    proposed index on ``table``.
+    """
+    combinations: set[tuple[str, ...]] = set()
+    for select in selects:
+        for slot, slot_predicate in enumerate(select.table_slots):
+            if slot_predicate != predicate:
+                continue
+            positions = select.join_columns_of(slot)
+            if positions:
+                combinations.add(tuple(column_name(i) for i in positions))
+    return [IndexAdvice(table, columns) for columns in sorted(combinations)]
+
+
+def set_membership_advice(table: str, arity: int) -> IndexAdvice:
+    """A full-row index turning set-difference probes into index lookups."""
+    return IndexAdvice(table, tuple(column_name(i) for i in range(arity)))
+
+
+def advise_clique_indexes(
+    selects: Sequence[CompiledSelect],
+    predicates: Iterable[str],
+    table_of: Callable[[str], str],
+    arity_of: Callable[[str], int],
+) -> list[IndexAdvice]:
+    """Index advice for one clique's derived result relations.
+
+    For each clique predicate: its join-column indexes (from every rule body
+    that reads it) plus the full-row set-membership index.  Advice whose
+    columns are a prefix of another retained index on the same table is
+    dropped — the wider index already serves those lookups.
+    """
+    advice: list[IndexAdvice] = []
+    for predicate in sorted(set(predicates)):
+        table = table_of(predicate)
+        proposed = join_column_advice(selects, predicate, table)
+        proposed.append(set_membership_advice(table, arity_of(predicate)))
+        advice.extend(proposed)
+    return _drop_redundant_prefixes(advice)
+
+
+def _drop_redundant_prefixes(advice: list[IndexAdvice]) -> list[IndexAdvice]:
+    kept: list[IndexAdvice] = []
+    for candidate in advice:
+        if any(
+            other is not candidate
+            and other.table == candidate.table
+            and other.columns[: len(candidate.columns)] == candidate.columns
+            and len(other.columns) > len(candidate.columns)
+            for other in advice
+        ):
+            continue
+        if candidate not in kept:
+            kept.append(candidate)
+    return kept
+
+
+def apply_index_advice(
+    database: Database, advice: Iterable[IndexAdvice]
+) -> int:
+    """Create every advised index (idempotently); return how many."""
+    count = 0
+    for item in advice:
+        database.create_index(item.index_name, item.table, item.columns)
+        count += 1
+    return count

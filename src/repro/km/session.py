@@ -21,8 +21,9 @@ from typing import Iterable, Sequence, Union
 from ..datalog.clauses import Clause, Query
 from ..datalog.parser import parse_program
 from ..dbms.catalog import ExtensionalCatalog
-from ..dbms.engine import Database
+from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE, Database
 from ..errors import CatalogError, SemanticError
+from ..runtime.context import FastPathConfig
 from ..runtime.program import ExecutionResult, LfpStrategy
 from .compiler import CompilationResult, QueryCompiler
 from .constraints import assert_consistent, check_consistency
@@ -60,18 +61,30 @@ class Testbed:
         compiled_rule_storage: maintain ``reachablepreds`` (the compiled rule
             form).  Turning this off reproduces the paper's source-form-only
             configuration: updates get much faster, query compilation slower.
+        fastpath: default fast-path configuration for query execution
+            (``None`` = the paper-faithful slow path; individual ``query``
+            calls can override it).
+        statement_cache_size: prepared-statement cache capacity of the
+            underlying :class:`Database`; ``0`` disables the cache.
     """
 
     # Despite the Test* name (from the paper), this is not a pytest case.
     __test__ = False
 
-    def __init__(self, path: str = ":memory:", compiled_rule_storage: bool = True):
-        self.database = Database(path)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        compiled_rule_storage: bool = True,
+        fastpath: FastPathConfig | None = None,
+        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+    ):
+        self.database = Database(path, statement_cache_size=statement_cache_size)
         self.catalog = ExtensionalCatalog(self.database)
         self.stored = StoredDKB(self.database, compiled_storage=compiled_rule_storage)
         self.workspace = WorkspaceDKB()
         self._compiler = QueryCompiler(self.workspace, self.stored, self.catalog)
         self.precompiled = PrecompiledQueryCache()
+        self.fastpath = fastpath
 
     def close(self) -> None:
         """Close the DBMS connection."""
@@ -160,6 +173,7 @@ class Testbed:
         optimize: Union[bool, str] = False,
         strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
         precompile: bool = False,
+        fastpath: FastPathConfig | None = None,
     ) -> QueryResult:
         """Compile and execute a query; returns rows and all measurements.
 
@@ -167,6 +181,9 @@ class Testbed:
         stored into) the precompiled-query cache — paper conclusion 3.
         Cached plans are invalidated automatically when new rules are
         defined or the stored D/KB is updated.
+
+        ``fastpath`` overrides the session's default fast-path
+        configuration for this one execution.
         """
         if precompile:
             key = cache_key(query, optimize, strategy)
@@ -177,7 +194,11 @@ class Testbed:
         else:
             compilation = self.compile_query(query, optimize, strategy)
         started = time.perf_counter()
-        execution = compilation.program.execute(self.database, self.catalog)
+        execution = compilation.program.execute(
+            self.database,
+            self.catalog,
+            fastpath=fastpath if fastpath is not None else self.fastpath,
+        )
         elapsed = time.perf_counter() - started
         return QueryResult(execution.rows, compilation, execution, elapsed)
 

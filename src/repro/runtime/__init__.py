@@ -13,6 +13,7 @@ from .context import (
     PHASE_TERMINATION,
     EvaluationContext,
     EvaluationCounters,
+    FastPathConfig,
     derived_table_name,
 )
 from .counting import (
@@ -54,6 +55,7 @@ __all__ = [
     "sweep_workers",
     "EvaluationCounters",
     "ExecutionResult",
+    "FastPathConfig",
     "LfpResult",
     "LfpStrategy",
     "PHASE_RHS_EVAL",

@@ -30,7 +30,8 @@ from ..datalog.pcg import Clique
 from ..dbms.schema import quote_identifier
 from ..dbms.sqlgen import compile_rule_body
 from .context import EvaluationContext
-from .naive import MAX_ITERATIONS, LfpResult
+from . import naive
+from .naive import MAX_ITERATIONS, LfpResult, non_convergence_error
 
 
 def _create_keyed_table(context: EvaluationContext, name: str, predicate: str) -> None:
@@ -47,7 +48,17 @@ def _create_keyed_table(context: EvaluationContext, name: str, predicate: str) -
 def evaluate_clique_lfp_operator(
     context: EvaluationContext, clique: Clique
 ) -> LfpResult:
-    """Least fixed point of ``clique`` via the in-DBMS operator strategy."""
+    """Least fixed point of ``clique`` via the in-DBMS operator strategy.
+
+    The operator's storage layout is already fast-path-shaped (stable keyed
+    relations, no per-iteration DDL, index-probe set semantics), so of the
+    fast-path switches only iteration batching applies here.
+
+    Raises:
+        EvaluationError: if the loop hits
+            :data:`repro.runtime.naive.MAX_ITERATIONS` before the deltas
+            drain (the result would be a truncated fixed point).
+    """
     predicates = sorted(clique.predicates)
     database = context.database
 
@@ -119,20 +130,25 @@ def evaluate_clique_lfp_operator(
     produced = fold_deltas()
 
     iterations = 1
-    while produced and iterations < MAX_ITERATIONS:
+    while produced:
+        if iterations >= naive.MAX_ITERATIONS:
+            raise non_convergence_error(
+                "lfp_operator", clique, naive.MAX_ITERATIONS
+            )
         iterations += 1
-        for clause, select in compiled_recursive:
-            for index, predicate in enumerate(select.positive_predicates):
-                if predicate not in clique.predicates:
-                    continue
-                tables = [
-                    previous[p] if j == index else context.table_of(p)
-                    for j, p in enumerate(select.table_slots)
-                ]
-                insert_select(
-                    clause.head_predicate, select.render(tables), select.parameters
-                )
-        produced = fold_deltas()
+        with context.iteration_scope():
+            for clause, select in compiled_recursive:
+                for index, predicate in enumerate(select.positive_predicates):
+                    if predicate not in clique.predicates:
+                        continue
+                    tables = [
+                        previous[p] if j == index else context.table_of(p)
+                        for j, p in enumerate(select.table_slots)
+                    ]
+                    insert_select(
+                        clause.head_predicate, select.render(tables), select.parameters
+                    )
+            produced = fold_deltas()
 
     for predicate in predicates:
         database.drop_relation(delta[predicate])

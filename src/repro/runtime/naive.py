@@ -11,6 +11,12 @@ implementation — and ours — pays exactly the costs its Test 6 dissects:
   derived tuples plus possibly new ones;
 * **termination**: a full set difference (``EXCEPT``) per predicate per
   iteration, because the SQL interface offers no early exit.
+
+The fast-path layer (:class:`repro.runtime.context.FastPathConfig`) removes
+the avoidable parts without changing the strategy: scratch relations are
+allocated once and cleared with ``DELETE`` (stable names keep the statement
+cache hot), each iteration runs in one explicit transaction, and the index
+advisor indexes the derived relations' join columns before the loop.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass
 from ..datalog.pcg import Clique
 from ..dbms.schema import RelationSchema, quote_identifier
 from ..dbms.sqlgen import compile_rule_body, difference_sql, copy_sql, insert_new_tuples_sql
+from ..errors import EvaluationError
 from .context import (
     PHASE_RHS_EVAL,
     PHASE_TEMP_TABLES,
@@ -43,77 +50,128 @@ class LfpResult:
         return sum(self.tuples_by_predicate.values())
 
 
+def non_convergence_error(strategy: str, clique: Clique, limit: int) -> EvaluationError:
+    """The error every LFP loop raises when it hits the iteration cap.
+
+    Falling out of the loop instead would silently return a *truncated*
+    fixed point — tuples derivable in ``limit + 1`` iterations would simply
+    be missing from the answer.
+    """
+    predicates = "+".join(sorted(clique.predicates))
+    return EvaluationError(
+        f"{strategy} LFP evaluation of clique {predicates!r} did not "
+        f"converge within MAX_ITERATIONS={limit} iterations; the fixed "
+        "point is incomplete (raise repro.runtime.naive.MAX_ITERATIONS if "
+        "the workload legitimately needs more)"
+    )
+
+
 def evaluate_clique_naive(context: EvaluationContext, clique: Clique) -> LfpResult:
-    """Compute the least fixed point of ``clique`` by naive iteration."""
+    """Compute the least fixed point of ``clique`` by naive iteration.
+
+    Raises:
+        EvaluationError: if the loop hits :data:`MAX_ITERATIONS` before
+            converging (the result would be a truncated fixed point).
+    """
     predicates = sorted(clique.predicates)
     database = context.database
+    fastpath = context.fastpath
+
+    compiled = [(c, compile_rule_body(c)) for c in clique.rules]
 
     with database.phase(PHASE_TEMP_TABLES):
         for predicate in predicates:
             context.materialise(predicate)
+        context.create_advised_indexes([s for __, s in compiled], predicates)
 
-    compiled = [(c, compile_rule_body(c)) for c in clique.rules]
-
-    iterations = 0
-    while iterations < MAX_ITERATIONS:
-        iterations += 1
-        scratch: dict[str, str] = {}
+    scratch: dict[str, str] = {}
+    schemas: dict[str, RelationSchema] = {}
+    if fastpath.reuse_scratch_tables:
+        # Allocate the scratch relations once; iterations clear them with
+        # DELETE, so the rendered SQL (and the prepared statements behind
+        # it) stays identical from one iteration to the next.
         with database.phase(PHASE_TEMP_TABLES):
             for predicate in predicates:
                 name = database.fresh_temp_name(f"new_{predicate}")
                 schema = RelationSchema(name, context.types_of(predicate))
                 database.create_relation(schema, temporary=True)
                 scratch[predicate] = name
-                # Seed tuples (e.g. the magic seed) are part of f's output
-                # every iteration, like an exit rule with an empty body.
-                rows = context.seed_rows.get(predicate)
-                if rows:
-                    database.insert_rows(schema, rows)
+                schemas[predicate] = schema
 
-        # Recompute every rule in full against the previous iteration's
-        # relations — the redundant work that makes naive evaluation slow.
-        with database.phase(PHASE_RHS_EVAL):
-            for clause, select in compiled:
-                tables = [
-                    context.table_of(p) for p in select.table_slots
-                ]
-                sql = insert_new_tuples_sql(
-                    scratch[clause.head_predicate],
-                    select.render(tables),
-                    clause.head.arity,
-                )
-                database.execute(sql, select.parameters)
+    iterations = 0
+    while True:
+        if iterations >= MAX_ITERATIONS:
+            raise non_convergence_error("naive", clique, MAX_ITERATIONS)
+        iterations += 1
+        with context.iteration_scope():
+            with database.phase(PHASE_TEMP_TABLES):
+                for predicate in predicates:
+                    if fastpath.reuse_scratch_tables:
+                        schema = schemas[predicate]
+                        database.execute(
+                            f"DELETE FROM {quote_identifier(scratch[predicate])}"
+                        )
+                    else:
+                        name = database.fresh_temp_name(f"new_{predicate}")
+                        schema = RelationSchema(name, context.types_of(predicate))
+                        database.create_relation(schema, temporary=True)
+                        scratch[predicate] = name
+                    # Seed tuples (e.g. the magic seed) are part of f's output
+                    # every iteration, like an exit rule with an empty body.
+                    rows = context.seed_rows.get(predicate)
+                    if rows:
+                        database.insert_rows(schema, rows)
 
-        # Termination: has any relation gained a tuple?  The SQL interface
-        # forces a full set difference per predicate.
-        changed = False
-        with database.phase(PHASE_TERMINATION):
-            for predicate in predicates:
-                difference = difference_sql(
-                    scratch[predicate],
-                    context.table_of(predicate),
-                    len(context.types_of(predicate)),
-                )
-                if database.execute(difference):
-                    changed = True
+            # Recompute every rule in full against the previous iteration's
+            # relations — the redundant work that makes naive evaluation slow.
+            with database.phase(PHASE_RHS_EVAL):
+                for clause, select in compiled:
+                    tables = [
+                        context.table_of(p) for p in select.table_slots
+                    ]
+                    sql = insert_new_tuples_sql(
+                        scratch[clause.head_predicate],
+                        select.render(tables),
+                        clause.head.arity,
+                    )
+                    database.execute(sql, select.parameters)
 
-        # Copy the scratch relations into the results and drop them — the
-        # per-iteration table copying the paper's conclusion 6a targets.
-        with database.phase(PHASE_TEMP_TABLES):
-            for predicate in predicates:
-                target = context.table_of(predicate)
-                database.execute(f"DELETE FROM {quote_identifier(target)}")
-                database.execute(
-                    copy_sql(
-                        target,
+            # Termination: has any relation gained a tuple?  The SQL interface
+            # forces a full set difference per predicate.
+            changed = False
+            with database.phase(PHASE_TERMINATION):
+                for predicate in predicates:
+                    difference = difference_sql(
                         scratch[predicate],
+                        context.table_of(predicate),
                         len(context.types_of(predicate)),
                     )
-                )
-                database.drop_relation(scratch[predicate])
+                    if database.execute(difference):
+                        changed = True
+
+            # Copy the scratch relations into the results and drop them — the
+            # per-iteration table copying the paper's conclusion 6a targets.
+            with database.phase(PHASE_TEMP_TABLES):
+                for predicate in predicates:
+                    target = context.table_of(predicate)
+                    database.execute(f"DELETE FROM {quote_identifier(target)}")
+                    database.execute(
+                        copy_sql(
+                            target,
+                            scratch[predicate],
+                            len(context.types_of(predicate)),
+                        )
+                    )
+                    if not fastpath.reuse_scratch_tables:
+                        database.drop_relation(scratch[predicate])
 
         if not changed:
             break
+
+    if fastpath.reuse_scratch_tables:
+        with database.phase(PHASE_TEMP_TABLES):
+            for predicate in predicates:
+                database.drop_relation(scratch[predicate])
 
     sizes = {p: context.record_result_size(p) for p in predicates}
     context.counters.iterations_by_clique[

@@ -23,7 +23,7 @@ from ..dbms.catalog import ExtensionalCatalog, fact_table_name
 from ..dbms.engine import Database
 from ..dbms.sqlgen import compile_rule_body
 from ..errors import EvaluationError
-from .context import EvaluationContext
+from .context import EvaluationContext, FastPathConfig
 from .lfp import evaluate_clique_lfp_operator
 from .naive import LfpResult, evaluate_clique_naive
 from .relalg import evaluate_nonrecursive
@@ -92,9 +92,17 @@ class QueryProgram:
     seed_facts: Mapping[str, tuple[tuple, ...]] = field(default_factory=dict)
 
     def execute(
-        self, database: Database, catalog: ExtensionalCatalog
+        self,
+        database: Database,
+        catalog: ExtensionalCatalog,
+        fastpath: FastPathConfig | None = None,
     ) -> ExecutionResult:
-        """Run the program bottom-up and return the answer tuples."""
+        """Run the program bottom-up and return the answer tuples.
+
+        ``fastpath`` switches on the fast-path execution layer (iteration
+        batching, scratch-table reuse, index advice) for the LFP loops;
+        ``None`` keeps the paper-faithful slow path.
+        """
         table_of = {}
         for predicate in self.base_predicates:
             if not catalog.has_relation(predicate):
@@ -102,7 +110,9 @@ class QueryProgram:
                     f"base relation {predicate!r} is not loaded in the DBMS"
                 )
             table_of[predicate] = fact_table_name(predicate)
-        context = EvaluationContext(database, table_of, self.types, self.seed_facts)
+        context = EvaluationContext(
+            database, table_of, self.types, self.seed_facts, fastpath
+        )
 
         evaluate_clique = _CLIQUE_EVALUATORS[self.strategy]
         lfp_results: list[LfpResult] = []

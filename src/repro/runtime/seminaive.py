@@ -8,13 +8,17 @@ New tuples are separated from old ones with a set difference, become the next
 delta, and are unioned into the result.
 
 The phase names match :mod:`repro.runtime.naive` so Test 6 can compare the
-breakdowns.
+breakdowns.  Termination is one ``EXISTS`` probe over all deltas per
+iteration (a single statement, not one ``COUNT(*)`` scan per predicate).
+The fast path additionally keeps two stable delta relations per predicate
+(ping-pong buffers cleared with ``DELETE``), batches each iteration into a
+transaction, and indexes the derived relations before the loop.
 """
 
 from __future__ import annotations
 
 from ..datalog.pcg import Clique
-from ..dbms.schema import RelationSchema
+from ..dbms.schema import RelationSchema, quote_identifier
 from ..dbms.sqlgen import compile_rule_body, copy_sql, insert_new_tuples_sql
 from .context import (
     PHASE_RHS_EVAL,
@@ -22,15 +26,44 @@ from .context import (
     PHASE_TERMINATION,
     EvaluationContext,
 )
-from .naive import MAX_ITERATIONS, LfpResult
+from . import naive
+from .naive import LfpResult, non_convergence_error
+
+# Re-exported for backward compatibility; the authoritative (and
+# monkeypatchable) value lives in repro.runtime.naive.
+MAX_ITERATIONS = naive.MAX_ITERATIONS
+
+
+def _any_delta_tuples_sql(delta_tables: list[str]) -> str:
+    """One EXISTS-style probe over every delta relation.
+
+    Replaces the per-predicate ``COUNT(*)`` termination probes: SQLite stops
+    each EXISTS at the first row, and the whole check is a single statement.
+    """
+    probes = " OR ".join(
+        f"EXISTS (SELECT 1 FROM {quote_identifier(name)})"
+        for name in delta_tables
+    )
+    return f"SELECT {probes}"
 
 
 def evaluate_clique_seminaive(
     context: EvaluationContext, clique: Clique
 ) -> LfpResult:
-    """Compute the least fixed point of ``clique`` by semi-naive iteration."""
+    """Compute the least fixed point of ``clique`` by semi-naive iteration.
+
+    Raises:
+        EvaluationError: if the loop hits
+            :data:`repro.runtime.naive.MAX_ITERATIONS` before the delta
+            drains (the result would be a truncated fixed point).
+    """
     predicates = sorted(clique.predicates)
     database = context.database
+    fastpath = context.fastpath
+
+    exit_selects = [(c, compile_rule_body(c)) for c in clique.exit_rules]
+    recursive = [(c, compile_rule_body(c)) for c in clique.recursive_rules]
+    all_selects = [s for __, s in exit_selects] + [s for __, s in recursive]
 
     with database.phase(PHASE_TEMP_TABLES):
         for predicate in predicates:
@@ -38,19 +71,31 @@ def evaluate_clique_seminaive(
             # Seed tuples (e.g. the magic seed fact) join the result before
             # the exit-rule pass, so the first delta carries them too.
             context.insert_seed_rows(predicate)
+        context.create_advised_indexes(all_selects, predicates)
 
     # Iteration 0: exit rules seed both the result and the first delta.
     delta: dict[str, str] = {}
+    spare: dict[str, str] = {}
     with database.phase(PHASE_TEMP_TABLES):
         for predicate in predicates:
             name = database.fresh_temp_name(f"delta_{predicate}")
             schema = RelationSchema(name, context.types_of(predicate))
             database.create_relation(schema, temporary=True)
             delta[predicate] = name
+            if fastpath.reuse_scratch_tables:
+                # The ping-pong partner: iterations alternate between the
+                # two stable relations instead of CREATE/DROP-ing fresh
+                # ones, keeping the rendered SQL (and the statement cache)
+                # stable across iterations.
+                partner = database.fresh_temp_name(f"delta_{predicate}")
+                database.create_relation(
+                    RelationSchema(partner, context.types_of(predicate)),
+                    temporary=True,
+                )
+                spare[predicate] = partner
 
     with database.phase(PHASE_RHS_EVAL):
-        for clause in clique.exit_rules:
-            select = compile_rule_body(clause)
+        for clause, select in exit_selects:
             tables = [context.table_of(p) for p in select.table_slots]
             sql = insert_new_tuples_sql(
                 context.table_of(clause.head_predicate),
@@ -68,69 +113,91 @@ def evaluate_clique_seminaive(
                 )
             )
 
-    recursive = [(c, compile_rule_body(c)) for c in clique.recursive_rules]
     iterations = 1  # the exit-rule pass counts as the first iteration
-    while iterations < MAX_ITERATIONS:
+    while True:
         with database.phase(PHASE_TERMINATION):
-            empty = not any(database.row_count(delta[p]) for p in predicates)
+            probe = _any_delta_tuples_sql([delta[p] for p in predicates])
+            empty = not database.execute(probe)[0][0]
         if empty:
             break
+        if iterations >= naive.MAX_ITERATIONS:
+            raise non_convergence_error(
+                "semi-naive", clique, naive.MAX_ITERATIONS
+            )
         iterations += 1
 
-        new_delta: dict[str, str] = {}
-        with database.phase(PHASE_TEMP_TABLES):
-            for predicate in predicates:
-                name = database.fresh_temp_name(f"delta_{predicate}")
-                schema = RelationSchema(name, context.types_of(predicate))
-                database.create_relation(schema, temporary=True)
-                new_delta[predicate] = name
+        with context.iteration_scope():
+            new_delta: dict[str, str] = {}
+            with database.phase(PHASE_TEMP_TABLES):
+                for predicate in predicates:
+                    if fastpath.reuse_scratch_tables:
+                        # The spare buffer was emptied when it last rotated
+                        # out, so it is ready to receive the new delta.
+                        new_delta[predicate] = spare[predicate]
+                    else:
+                        name = database.fresh_temp_name(f"delta_{predicate}")
+                        schema = RelationSchema(
+                            name, context.types_of(predicate)
+                        )
+                        database.create_relation(schema, temporary=True)
+                        new_delta[predicate] = name
 
-        # Differential RHS: one pass per recursive occurrence, with that
-        # occurrence redirected to the delta relation.
-        with database.phase(PHASE_RHS_EVAL):
-            for clause, select in recursive:
-                for index, predicate in enumerate(select.positive_predicates):
-                    if predicate not in clique.predicates:
-                        continue
-                    tables = [
-                        delta[p] if j == index else context.table_of(p)
-                        for j, p in enumerate(select.table_slots)
-                    ]
-                    # EXCEPT against the full result keeps only new tuples —
-                    # still a set difference, but over the differential.
-                    sql = insert_new_tuples_sql(
-                        new_delta[clause.head_predicate],
-                        select.render(tables),
-                        clause.head.arity,
-                    )
-                    database.execute(sql, select.parameters)
+            # Differential RHS: one pass per recursive occurrence, with that
+            # occurrence redirected to the delta relation.
+            with database.phase(PHASE_RHS_EVAL):
+                for clause, select in recursive:
+                    for index, predicate in enumerate(select.positive_predicates):
+                        if predicate not in clique.predicates:
+                            continue
+                        tables = [
+                            delta[p] if j == index else context.table_of(p)
+                            for j, p in enumerate(select.table_slots)
+                        ]
+                        # EXCEPT against the full result keeps only new tuples —
+                        # still a set difference, but over the differential.
+                        sql = insert_new_tuples_sql(
+                            new_delta[clause.head_predicate],
+                            select.render(tables),
+                            clause.head.arity,
+                        )
+                        database.execute(sql, select.parameters)
 
-        # Strip already-known tuples from the delta and fold it in.  The
-        # DELETE implements delta := delta - result; the termination check
-        # then just counts the delta.
-        with database.phase(PHASE_TERMINATION):
-            for predicate in predicates:
-                arity = len(context.types_of(predicate))
-                columns = ", ".join(f"c{i}" for i in range(arity))
-                database.execute(
-                    f'DELETE FROM "{new_delta[predicate]}" WHERE ({columns}) IN '
-                    f'(SELECT {columns} FROM "{context.table_of(predicate)}")'
-                )
-        with database.phase(PHASE_TEMP_TABLES):
-            for predicate in predicates:
-                database.execute(
-                    copy_sql(
-                        context.table_of(predicate),
-                        new_delta[predicate],
-                        len(context.types_of(predicate)),
+            # Strip already-known tuples from the delta and fold it in.  The
+            # DELETE implements delta := delta - result; the termination check
+            # then just probes the delta.
+            with database.phase(PHASE_TERMINATION):
+                for predicate in predicates:
+                    arity = len(context.types_of(predicate))
+                    columns = ", ".join(f"c{i}" for i in range(arity))
+                    database.execute(
+                        f'DELETE FROM "{new_delta[predicate]}" WHERE ({columns}) IN '
+                        f'(SELECT {columns} FROM "{context.table_of(predicate)}")'
                     )
-                )
-                database.drop_relation(delta[predicate])
-            delta = new_delta
+            with database.phase(PHASE_TEMP_TABLES):
+                for predicate in predicates:
+                    database.execute(
+                        copy_sql(
+                            context.table_of(predicate),
+                            new_delta[predicate],
+                            len(context.types_of(predicate)),
+                        )
+                    )
+                    if fastpath.reuse_scratch_tables:
+                        # Clear the outgoing delta; it becomes the spare
+                        # buffer for the next iteration.
+                        database.execute(
+                            f"DELETE FROM {quote_identifier(delta[predicate])}"
+                        )
+                        spare[predicate] = delta[predicate]
+                    else:
+                        database.drop_relation(delta[predicate])
+                delta = dict(new_delta)
 
     with database.phase(PHASE_TEMP_TABLES):
         for predicate in predicates:
             database.drop_relation(delta[predicate])
+            if fastpath.reuse_scratch_tables:
+                database.drop_relation(spare[predicate])
 
     sizes = {p: context.record_result_size(p) for p in predicates}
     context.counters.iterations_by_clique["+".join(predicates)] = iterations

@@ -1,0 +1,118 @@
+"""Tests for the fast-path index advisor and join-column extraction.
+
+The advisor turns the join equalities :func:`compile_rule_body` discovers
+into index proposals on the clique's derived relations, plus a full-row
+set-membership index serving the EXCEPT / IN set-difference probes.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.parser import parse_clause
+from repro.dbms.advisor import (
+    IndexAdvice,
+    advise_clique_indexes,
+    apply_index_advice,
+    join_column_advice,
+    set_membership_advice,
+)
+from repro.dbms.sqlgen import compile_rule_body
+
+LINEAR_RULE = parse_clause("anc(X, Y) :- edge(X, Z), anc(Z, Y).")
+EXIT_RULE = parse_clause("anc(X, Y) :- edge(X, Y).")
+
+
+class TestJoinColumnExtraction:
+    def test_linear_rule_join_columns(self):
+        select = compile_rule_body(LINEAR_RULE)
+        assert select.table_slots == ("edge", "anc")
+        # Z joins edge's second column to anc's first.
+        assert select.join_columns_of(0) == (1,)
+        assert select.join_columns_of(1) == (0,)
+
+    def test_exit_rule_has_no_joins(self):
+        select = compile_rule_body(EXIT_RULE)
+        assert select.join_columns_of(0) == ()
+
+    def test_multiway_join(self):
+        clause = parse_clause("p(X, W) :- q(X, Y), r(Y, Z), s(Z, W).")
+        select = compile_rule_body(clause)
+        assert select.join_columns_of(0) == (1,)  # Y
+        assert select.join_columns_of(1) == (0, 1)  # Y and Z
+        assert select.join_columns_of(2) == (0,)  # Z
+
+    def test_repeated_variable_within_atom(self):
+        clause = parse_clause("p(X) :- q(X, X), r(X).")
+        select = compile_rule_body(clause)
+        # X joins q's both columns with r's only column.
+        assert set(select.join_columns_of(0)) <= {0, 1}
+        assert select.join_columns_of(1) == (0,)
+
+    def test_out_of_range_slot_is_empty(self):
+        select = compile_rule_body(EXIT_RULE)
+        assert select.join_columns_of(99) == ()
+
+
+class TestAdvice:
+    def test_join_column_advice_for_recursive_predicate(self):
+        selects = [compile_rule_body(LINEAR_RULE), compile_rule_body(EXIT_RULE)]
+        advice = join_column_advice(selects, "anc", "d_anc")
+        assert advice == [IndexAdvice("d_anc", ("c0",))]
+
+    def test_advice_ignores_other_predicates(self):
+        selects = [compile_rule_body(LINEAR_RULE)]
+        assert join_column_advice(selects, "unrelated", "t_u") == []
+
+    def test_set_membership_is_full_row(self):
+        advice = set_membership_advice("t_anc", 3)
+        assert advice.columns == ("c0", "c1", "c2")
+
+    def test_index_name_is_deterministic(self):
+        advice = IndexAdvice("d_anc", ("c0", "c1"))
+        assert advice.index_name == "fpidx_d_anc_c0_c1"
+        assert advice.index_name == IndexAdvice("d_anc", ("c0", "c1")).index_name
+
+    def test_clique_advice_drops_prefix_redundancy(self):
+        # anc's join column (c0) is a prefix of the full-row (c0, c1) index,
+        # so only the wider one survives.
+        selects = [compile_rule_body(LINEAR_RULE), compile_rule_body(EXIT_RULE)]
+        advice = advise_clique_indexes(
+            selects,
+            ["anc"],
+            table_of=lambda p: "t_anc",
+            arity_of=lambda p: 2,
+        )
+        assert advice == [IndexAdvice("t_anc", ("c0", "c1"))]
+
+    def test_clique_advice_keeps_non_prefix_combinations(self):
+        # A rule joining on anc's *second* column is not a prefix of the
+        # full-row index's column order? (c1) is not a prefix of (c0, c1).
+        clause = parse_clause("p(X) :- anc(Y, X), q(X).")
+        advice = advise_clique_indexes(
+            [compile_rule_body(clause)],
+            ["anc"],
+            table_of=lambda p: "t_anc",
+            arity_of=lambda p: 2,
+        )
+        tables_and_columns = {(a.table, a.columns) for a in advice}
+        assert ("t_anc", ("c1",)) in tables_and_columns
+        assert ("t_anc", ("c0", "c1")) in tables_and_columns
+
+
+class TestApplyAdvice:
+    def test_creates_indexes_idempotently(self, database):
+        database.execute("CREATE TABLE d_anc (c0 TEXT, c1 TEXT)")
+        advice = [
+            IndexAdvice("d_anc", ("c0",)),
+            IndexAdvice("d_anc", ("c0", "c1")),
+        ]
+        assert apply_index_advice(database, advice) == 2
+        # Re-applying must not fail (IF NOT EXISTS semantics).
+        assert apply_index_advice(database, advice) == 2
+        names = {
+            name
+            for (name,) in database.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            )
+        }
+        assert "fpidx_d_anc_c0" in names
+        assert "fpidx_d_anc_c0_c1" in names

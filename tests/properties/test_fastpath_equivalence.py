@@ -1,0 +1,110 @@
+"""Property tests: the fast-path layer never changes what is computed.
+
+On the paper's four workload shapes (lists, full binary trees, layered DAGs,
+cyclic graphs), naive and semi-naive evaluation with the fast path enabled
+must produce exactly the same answer set — and exactly the same
+``iterations_by_clique`` — as the paper-faithful slow path.  The fast path
+is a physical-level change (statement reuse, batching, indexes); any
+logical difference is a bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FastPathConfig, LfpStrategy, Testbed
+from repro.workloads.relations import (
+    full_binary_trees,
+    iter_descendants,
+    lists,
+    random_cyclic_graph,
+    random_dag,
+)
+
+ANCESTOR = (
+    "ancestor(X, Y) :- parent(X, Y)."
+    "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y)."
+)
+
+STRATEGIES = [LfpStrategy.NAIVE, LfpStrategy.SEMINAIVE, LfpStrategy.LFP_OPERATOR]
+
+WORKLOADS = {
+    "list": lambda: lists(2, 6),
+    "tree": lambda: full_binary_trees(1, 5),
+    "dag": lambda: random_dag(30, 5, seed=7),
+    "cyclic": lambda: random_cyclic_graph(30, 5, cycle_count=3, seed=7),
+}
+
+
+def run_query(edges, strategy, fastpath, query="?- ancestor(X, Y)."):
+    tb = Testbed(fastpath=fastpath)
+    try:
+        tb.define(ANCESTOR)
+        tb.define_base_relation("parent", ("TEXT", "TEXT"))
+        tb.load_facts("parent", edges)
+        result = tb.query(query, strategy=strategy)
+        return set(result.rows), dict(result.execution.iterations_by_clique)
+    finally:
+        tb.close()
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("shape", sorted(WORKLOADS))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_fast_and_slow_paths_agree(self, shape, strategy):
+        relation = WORKLOADS[shape]()
+        slow_rows, slow_iterations = run_query(relation.edges, strategy, None)
+        fast_rows, fast_iterations = run_query(
+            relation.edges, strategy, FastPathConfig.enabled()
+        )
+        assert fast_rows == slow_rows, (shape, strategy)
+        assert fast_iterations == slow_iterations, (shape, strategy)
+
+    @pytest.mark.parametrize("shape", sorted(WORKLOADS))
+    def test_strategies_agree_under_fast_path(self, shape):
+        relation = WORKLOADS[shape]()
+        results = {
+            strategy: run_query(
+                relation.edges, strategy, FastPathConfig.enabled()
+            )[0]
+            for strategy in STRATEGIES
+        }
+        baseline = results[LfpStrategy.SEMINAIVE]
+        assert all(rows == baseline for rows in results.values()), shape
+
+    @pytest.mark.parametrize("shape", ["tree", "dag"])
+    def test_bound_query_matches_ground_truth(self, shape):
+        relation = WORKLOADS[shape]()
+        root = sorted(relation.nodes)[0]
+        expected = {(node,) for node in iter_descendants(relation, root)}
+        for strategy in STRATEGIES:
+            rows, __ = run_query(
+                relation.edges,
+                strategy,
+                FastPathConfig.enabled(),
+                query=f"?- ancestor('{root}', Y).",
+            )
+            assert rows == expected, (shape, strategy)
+
+
+NODES = [f"n{i}" for i in range(6)]
+random_edges = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+        lambda e: e[0] != e[1]
+    ),
+    min_size=1,
+    max_size=14,
+    unique=True,
+)
+
+
+class TestRandomGraphEquivalence:
+    @given(random_edges)
+    @settings(max_examples=25, deadline=None)
+    def test_fast_path_preserves_answers_and_iterations(self, edges):
+        for strategy in (LfpStrategy.NAIVE, LfpStrategy.SEMINAIVE):
+            slow = run_query(edges, strategy, None)
+            fast = run_query(edges, strategy, FastPathConfig.enabled())
+            assert fast == slow, (strategy, edges)

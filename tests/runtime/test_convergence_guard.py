@@ -1,0 +1,68 @@
+"""Regression tests: LFP loops must fail loudly when they hit the cap.
+
+The seed silently fell out of the evaluation loop at ``MAX_ITERATIONS``,
+returning a truncated (non-least) fixed point as if it had converged.  All
+three strategies must instead raise :class:`EvaluationError` so a runaway
+recursion can never masquerade as an answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runtime.naive
+from repro.errors import EvaluationError
+from repro.runtime.context import FastPathConfig
+from repro.runtime.lfp import evaluate_clique_lfp_operator
+from repro.runtime.naive import evaluate_clique_naive
+from repro.runtime.seminaive import evaluate_clique_seminaive
+
+STRATEGIES = [
+    ("naive", evaluate_clique_naive),
+    ("semi-naive", evaluate_clique_seminaive),
+    ("lfp_operator", evaluate_clique_lfp_operator),
+]
+
+
+@pytest.mark.parametrize("name,evaluate", STRATEGIES)
+def test_iteration_cap_raises(
+    monkeypatch, edge_context, ancestor_clique, name, evaluate
+):
+    # The 3-edge chain needs 4 iterations to converge; cap it at 2.  The
+    # authoritative constant lives in repro.runtime.naive and the other
+    # strategies read it dynamically, so one monkeypatch covers all three.
+    monkeypatch.setattr(repro.runtime.naive, "MAX_ITERATIONS", 2)
+    with pytest.raises(EvaluationError) as excinfo:
+        evaluate(edge_context, ancestor_clique)
+    message = str(excinfo.value)
+    assert name in message
+    assert "2" in message
+    assert "anc" in message
+
+
+@pytest.mark.parametrize("name,evaluate", STRATEGIES)
+def test_iteration_cap_raises_with_fastpath(
+    monkeypatch, database, ancestor_clique, name, evaluate
+):
+    # The guard must also fire inside the batched fast-path iteration scope
+    # (the raise happens before a transaction opens, so nothing leaks).
+    from .conftest import EDGES, make_context
+
+    context = make_context(database, EDGES)
+    context.fastpath = FastPathConfig.enabled()
+    monkeypatch.setattr(repro.runtime.naive, "MAX_ITERATIONS", 2)
+    with pytest.raises(EvaluationError):
+        evaluate(context, ancestor_clique)
+    # The database must remain usable after the abort.
+    assert database.execute("SELECT 1") == [(1,)]
+
+
+@pytest.mark.parametrize("name,evaluate", STRATEGIES)
+def test_generous_cap_still_converges(
+    monkeypatch, edge_context, ancestor_clique, name, evaluate
+):
+    # A cap above the true convergence point must not perturb the result.
+    monkeypatch.setattr(repro.runtime.naive, "MAX_ITERATIONS", 16)
+    result = evaluate(edge_context, ancestor_clique)
+    assert result.iterations <= 16
+    assert result.tuples_by_predicate["anc"] == 6

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 
-from repro.bench import format_fastpath, run_fastpath_ab
+from repro.bench import format_fastpath, run_fastpath_ab, write_bench_json
 
 DEPTH = 9
 # Quick mode (CI smoke): fewer levels and repetitions, relaxed assertions —
@@ -31,6 +31,17 @@ def test_fastpath_ab_speedup(run_once):
     points = run_once(run_fastpath_ab, DEPTH, LEVELS, REPETITIONS)
     print()
     print(format_fastpath(points))
+
+    report_dir = os.environ.get("BENCH_REPORT_DIR")
+    if report_dir:
+        write_bench_json(
+            os.path.join(report_dir, "BENCH_fastpath.json"),
+            "fastpath_ab",
+            points,
+            depth=DEPTH,
+            repetitions=REPETITIONS,
+            quick=QUICK,
+        )
 
     by_label = {p.label: p for p in points}
     largest = by_label["level-1"]  # whole tree: the largest D_rel seed size

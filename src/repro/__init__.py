@@ -53,6 +53,7 @@ from .errors import (
     WorkloadError,
 )
 from .km import QueryResult, Testbed
+from .maintenance import MaintenancePolicy, MaintenanceResult
 from .runtime import FastPathConfig, LfpStrategy
 
 __version__ = "1.0.0"
@@ -66,6 +67,8 @@ __all__ = [
     "EvaluationError",
     "FastPathConfig",
     "LfpStrategy",
+    "MaintenancePolicy",
+    "MaintenanceResult",
     "OptimizationError",
     "ParseError",
     "Program",

@@ -1,0 +1,130 @@
+"""Incremental view maintenance vs full recompute (extension experiment).
+
+The paper only re-derives views from scratch: section 4.3 measures rule-base
+updates, and every query recomputes the derived relation it needs.  The
+maintenance subsystem (:mod:`repro.maintenance`) instead keeps a
+materialized ``ancestor`` correct under EDB fact updates by delta
+propagation and DRed.  This experiment quantifies when that wins: on the
+fig-12 tree workload, batches of new ``parent`` edges are applied to two
+identical testbeds — one maintaining the view incrementally, the other
+recomputing it from scratch — and the wall-clock per batch is compared
+across batch sizes, looking for the crossover where recomputation catches
+up.
+
+Both testbeds receive exactly the same edge batches, and the experiment
+asserts their materialized relations stay identical — a mismatch means a
+maintenance bug, not a timing artifact.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from ..km.session import Testbed
+from ..workloads.queries import ANCESTOR_RULES, load_parent_relation
+from ..workloads.relations import full_binary_trees, tree_node
+
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
+
+
+@dataclass(frozen=True)
+class MaintenancePoint:
+    """One batch size: incremental maintenance vs full recompute."""
+
+    batch_size: int
+    incremental_seconds: float
+    recompute_seconds: float
+    incremental_tuples: int
+    view_rows: int
+    base_rows: int
+
+    @property
+    def speedup(self) -> float:
+        """How much faster incremental maintenance is than recomputing."""
+        if not self.incremental_seconds:
+            return float("inf")
+        return self.recompute_seconds / self.incremental_seconds
+
+
+def _make_testbed(depth: int) -> Testbed:
+    relation = full_binary_trees(1, depth)
+    testbed = Testbed()
+    testbed.define(ANCESTOR_RULES)
+    load_parent_relation(testbed, relation)
+    testbed.materialize("ancestor")
+    return testbed
+
+
+def _fresh_batch(
+    depth: int, size: int, stamp: str
+) -> list[tuple[str, str]]:
+    """``size`` new child edges hung off existing tree nodes.
+
+    Child names are unique per ``stamp`` so every application inserts
+    genuinely new facts; parents cycle through the whole tree, so batches
+    touch shallow and deep nodes alike.
+    """
+    node_count = 2**depth - 1
+    return [
+        (tree_node("t", (i % node_count) + 1), f"x_{stamp}_{i}")
+        for i in range(size)
+    ]
+
+
+def run_maintenance_ab(
+    depth: int = 9,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    repetitions: int = 3,
+) -> list[MaintenancePoint]:
+    """Time insert maintenance against full recompute per batch size.
+
+    Each repetition builds a fresh batch of new edges and applies it to
+    both testbeds: the incremental one through ``load_facts`` (delta
+    propagation), the recompute one through a raw base-table insert
+    followed by ``refresh``.  Per batch size the median over repetitions is
+    reported.  The two views are compared after every batch.
+    """
+    incremental = _make_testbed(depth)
+    recompute = _make_testbed(depth)
+    points: list[MaintenancePoint] = []
+    try:
+        for size in batch_sizes:
+            inc_samples: list[float] = []
+            full_samples: list[float] = []
+            tuples_added = 0
+            for repetition in range(repetitions):
+                batch = _fresh_batch(depth, size, f"{size}_{repetition}")
+
+                started = time.perf_counter()
+                incremental.load_facts("parent", batch)
+                inc_samples.append(time.perf_counter() - started)
+                tuples_added = incremental.maintenance_log[-1].tuples_added
+
+                started = time.perf_counter()
+                recompute.catalog.insert_facts("parent", batch)
+                recompute.refresh("ancestor")
+                full_samples.append(time.perf_counter() - started)
+
+                left = set(incremental.database.fetch_all("mv_ancestor"))
+                right = set(recompute.database.fetch_all("mv_ancestor"))
+                if left != right:
+                    raise AssertionError(
+                        f"maintained view diverged at batch size {size}: "
+                        f"{len(left)} vs {len(right)} rows"
+                    )
+            points.append(
+                MaintenancePoint(
+                    batch_size=size,
+                    incremental_seconds=statistics.median(inc_samples),
+                    recompute_seconds=statistics.median(full_samples),
+                    incremental_tuples=tuples_added,
+                    view_rows=incremental.views.tuple_count("ancestor"),
+                    base_rows=incremental.catalog.fact_count("parent"),
+                )
+            )
+    finally:
+        incremental.close()
+        recompute.close()
+    return points

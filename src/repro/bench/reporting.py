@@ -7,6 +7,9 @@ benchmark suite prints, mirroring what the paper's figure or table reports.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 from typing import Iterable, Sequence
 
 from .experiments import (
@@ -352,3 +355,74 @@ def format_fastpath(points) -> str:
         ),
         rows,
     )
+
+
+def find_maintenance_crossover(points) -> int | None:
+    """Smallest batch size where incremental maintenance stops winning.
+
+    Returns ``None`` when incremental maintenance beats full recompute at
+    every measured batch size.
+    """
+    for point in sorted(points, key=lambda p: p.batch_size):
+        if point.speedup < 1.0:
+            return point.batch_size
+    return None
+
+
+def format_maintenance(points) -> str:
+    """Incremental view maintenance vs full recompute, per batch size."""
+    rows = []
+    for point in sorted(points, key=lambda p: p.batch_size):
+        rows.append(
+            (
+                point.batch_size,
+                _ms(point.incremental_seconds),
+                _ms(point.recompute_seconds),
+                f"{point.speedup:.2f}x",
+                point.incremental_tuples,
+                point.view_rows,
+                point.base_rows,
+            )
+        )
+    text = (
+        "View maintenance — delta propagation vs full recompute (ancestor)\n"
+        + _table(
+            (
+                "batch",
+                "incremental (ms)",
+                "recompute (ms)",
+                "speedup",
+                "Δ tuples",
+                "view rows",
+                "base rows",
+            ),
+            rows,
+        )
+    )
+    crossover = find_maintenance_crossover(points)
+    pretty = str(crossover) if crossover is not None else "none observed"
+    text += f"\ncrossover batch size: {pretty}"
+    return text
+
+
+def write_bench_json(path: str, name: str, rows: Iterable[object], **meta) -> str:
+    """Dump one experiment's points as a JSON report (for CI artifacts).
+
+    ``rows`` may be dataclass instances or plain mappings.  Returns the
+    path written.
+    """
+    payload = {
+        "name": name,
+        "meta": dict(meta),
+        "rows": [
+            dataclasses.asdict(row) if dataclasses.is_dataclass(row) else dict(row)
+            for row in rows
+        ],
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

@@ -162,6 +162,21 @@ class ExtensionalCatalog:
         self.database.execute(f"DELETE FROM {quote_identifier(schema.name)}")
         self.database.commit()
 
+    def delete_rows(self, predicate: str, rows: Iterable[Sequence]) -> int:
+        """Delete specific fact tuples from a base relation.
+
+        Every stored copy of each listed tuple is removed (base relations
+        keep duplicates on insert).  Returns the number of rows deleted.
+        """
+        schema = self.schema_of(predicate)
+        condition = " AND ".join(f"{c} = ?" for c in schema.columns)
+        count = self.database.executemany(
+            f"DELETE FROM {quote_identifier(schema.name)} WHERE {condition}",
+            [tuple(row) for row in rows],
+        )
+        self.database.commit()
+        return count
+
     def fact_count(self, predicate: str) -> int:
         """Number of tuples stored for ``predicate``."""
         return self.database.row_count(fact_table_name(predicate))

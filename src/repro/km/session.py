@@ -19,10 +19,23 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence, Union
 
 from ..datalog.clauses import Clause, Query
-from ..datalog.parser import parse_program
-from ..dbms.catalog import ExtensionalCatalog
+from ..datalog.parser import parse_program, parse_query
+from ..datalog.terms import Atom, Variable
+from ..dbms.catalog import ExtensionalCatalog, fact_table_name
 from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE, Database
+from ..dbms.schema import RelationSchema, quote_identifier
+from ..dbms.sqlgen import compile_rule_body
 from ..errors import CatalogError, SemanticError
+from ..maintenance.delta import propagate_inserts
+from ..maintenance.dred import DeleteMaintenance, MaintenancePolicy
+from ..maintenance.plan import (
+    MaintenancePlan,
+    MaintenanceResult,
+    build_plan,
+    merge_plans,
+)
+from ..maintenance.refresh import full_refresh
+from ..maintenance.registry import MaterializedViewRegistry, view_table_name
 from ..runtime.context import FastPathConfig
 from ..runtime.program import ExecutionResult, LfpStrategy
 from .compiler import CompilationResult, QueryCompiler
@@ -33,18 +46,29 @@ from .update import UpdateResult, update_stored_dkb
 from .workspace import WorkspaceDKB
 
 
+# Statistics phase attributed to the view-answer fast path of ``query()``.
+VIEW_ANSWER_PHASE = "view_answer"
+
+
 @dataclass
 class QueryResult:
-    """The full outcome of one D/KB query: rows plus both measurement sets."""
+    """The full outcome of one D/KB query: rows plus both measurement sets.
+
+    ``compilation`` is ``None`` when the query was answered directly from
+    materialized views (``answered_from_view``) — no compilation happened.
+    """
 
     rows: list[tuple]
-    compilation: CompilationResult
+    compilation: CompilationResult | None
     execution: ExecutionResult
     execution_seconds: float
+    answered_from_view: bool = False
 
     @property
     def compile_seconds(self) -> float:
-        """The paper's ``t_c``."""
+        """The paper's ``t_c`` (zero for view-answered queries)."""
+        if self.compilation is None:
+            return 0.0
         return self.compilation.timings.total
 
     @property
@@ -85,6 +109,10 @@ class Testbed:
         self._compiler = QueryCompiler(self.workspace, self.stored, self.catalog)
         self.precompiled = PrecompiledQueryCache()
         self.fastpath = fastpath
+        self.views = MaterializedViewRegistry(self.database)
+        self.maintenance_policy = MaintenancePolicy()
+        self.maintenance_log: list[MaintenanceResult] = []
+        self._view_plans: dict[str, MaintenancePlan] = {}
 
     def close(self) -> None:
         """Close the DBMS connection."""
@@ -116,6 +144,11 @@ class Testbed:
                 added.append(clause)
             elif self.workspace.add_clause(clause):
                 added.append(clause)
+                # A new rule can change what the predicate (and everything
+                # above it) derives; views built over it go stale right
+                # away, so facts later in this same program are not
+                # incrementally propagated under an outdated plan.
+                self._invalidate_views_for({clause.head_predicate})
         # New rules can change compiled plans that depend on their head
         # predicates; the precompiled-query cache must drop those entries.
         new_rule_heads = {c.head_predicate for c in added if c.is_rule}
@@ -130,7 +163,8 @@ class Testbed:
                 "INTEGER" if isinstance(value, int) else "TEXT" for value in row
             )
             self.catalog.create_relation(predicate, types)
-        self.catalog.insert_facts(predicate, [row])
+        # Route through load_facts so materialized views stay maintained.
+        self.load_facts(predicate, [row])
 
     def define_base_relation(
         self, predicate: str, types: Sequence[str], indexed: bool = True
@@ -141,6 +175,10 @@ class Testbed:
     def load_facts(self, predicate: str, rows: Iterable[Sequence]) -> int:
         """Bulk-load tuples into a base relation; returns the count loaded.
 
+        Fresh materialized views whose rules read ``predicate`` are
+        maintained incrementally (delta propagation), or fully refreshed
+        when their rules contain negation.
+
         Raises:
             CatalogError: when the relation does not exist.
         """
@@ -149,7 +187,346 @@ class Testbed:
                 f"base relation {predicate!r} does not exist; call "
                 "define_base_relation first"
             )
-        return self.catalog.insert_facts(predicate, rows)
+        rows = [tuple(row) for row in rows]
+        affected = self.views.fresh_views_on_base(predicate)
+        if not affected:
+            return self.catalog.insert_facts(predicate, rows)
+        return self._maintain_inserts(predicate, rows, affected)
+
+    def delete_facts(self, predicate: str, rows: Iterable[Sequence]) -> int:
+        """Delete tuples from a base relation; returns the count removed.
+
+        Every stored copy of each listed tuple is removed.  Fresh
+        materialized views whose rules read ``predicate`` are maintained by
+        DRed (delete-and-rederive) when the cost heuristic
+        (``maintenance_policy``) expects it to win, and by a full refresh
+        otherwise.
+
+        Raises:
+            CatalogError: when the relation does not exist.
+        """
+        if not self.catalog.has_relation(predicate):
+            raise CatalogError(
+                f"base relation {predicate!r} does not exist"
+            )
+        rows = [tuple(row) for row in rows]
+        affected = self.views.fresh_views_on_base(predicate)
+        if not affected:
+            return self.catalog.delete_rows(predicate, rows)
+        return self._maintain_deletes(predicate, rows, affected)
+
+    # -- materialized views -----------------------------------------------------
+
+    def materialize(self, predicate: str) -> int:
+        """Materialize a derived predicate as a persistent DBMS relation.
+
+        The predicate's relevant rules are compiled (exactly as a query
+        over it would be), its derived support set is registered in the
+        materialization dictionary, and the relations are populated by a
+        full semi-naive computation.  Afterwards the view is kept correct
+        under :meth:`load_facts` / :meth:`delete_facts` incrementally, and
+        queries over it are answered by a plain SELECT.
+
+        Returns the number of tuples materialized for ``predicate``.
+
+        Raises:
+            SemanticError: when ``predicate`` is a base relation.
+            CatalogError: when ``predicate`` is already materialized.
+        """
+        if self.catalog.has_relation(predicate):
+            raise SemanticError(
+                f"{predicate!r} is a base relation; only derived "
+                "predicates can be materialized"
+            )
+        if self.views.is_view(predicate):
+            raise CatalogError(
+                f"{predicate!r} is already materialized; use refresh"
+            )
+        plan = self._build_plan(predicate)
+        self._register_plan(predicate, plan)
+        started = time.perf_counter()
+        total = full_refresh(
+            self.database, plan, self._tables_of(plan), self.fastpath
+        )
+        self.views.mark_group_fresh(predicate)
+        self.database.commit()
+        self.maintenance_log.append(
+            MaintenanceResult(
+                (predicate,),
+                "materialize",
+                "refresh",
+                seconds=time.perf_counter() - started,
+                tuples_added=total,
+            )
+        )
+        return self.views.tuple_count(predicate)
+
+    def refresh(self, predicate: str | None = None) -> list[MaintenanceResult]:
+        """Recompute materialized views from scratch.
+
+        With ``predicate`` given, refreshes that one view; otherwise every
+        registered view.  The view's plan is recompiled first, so rule-base
+        changes since materialization (which mark views stale) are picked
+        up.
+
+        Raises:
+            CatalogError: when ``predicate`` is not a materialized view.
+        """
+        if predicate is not None:
+            if not self.views.is_view(predicate):
+                raise CatalogError(
+                    f"{predicate!r} is not a materialized view"
+                )
+            targets = [predicate]
+        else:
+            targets = [v.predicate for v in self.views.views()]
+        results: list[MaintenanceResult] = []
+        for view in targets:
+            plan = self._build_plan(view)
+            self._register_plan(view, plan)
+            started = time.perf_counter()
+            total = full_refresh(
+                self.database, plan, self._tables_of(plan), self.fastpath
+            )
+            self.views.mark_group_fresh(view)
+            self.views.bump_epoch([view])
+            result = MaintenanceResult(
+                (view,),
+                "refresh",
+                "refresh",
+                seconds=time.perf_counter() - started,
+                tuples_added=total,
+            )
+            self.maintenance_log.append(result)
+            results.append(result)
+        self.database.commit()
+        return results
+
+    def drop_view(self, predicate: str) -> None:
+        """Drop a materialized view (support relations other views share
+        are kept).
+
+        Raises:
+            CatalogError: when ``predicate`` is not a materialized view.
+        """
+        self.views.unregister_view(predicate)
+        self._view_plans.pop(predicate, None)
+
+    def _build_plan(self, predicate: str) -> MaintenancePlan:
+        """Compile the all-free query over ``predicate`` into a plan."""
+        self._check_workspace_consistency()
+        arity = self.workspace.program.arity_of(predicate)
+        if arity is None:
+            types = self.stored.derived_types_of([predicate]).get(predicate)
+            if types is not None:
+                arity = len(types)
+        if arity is None:
+            raise SemanticError(
+                f"no rule defines {predicate!r}; cannot materialize it"
+            )
+        variables = tuple(Variable(f"V{i}") for i in range(arity))
+        query = Query((Atom(predicate, variables),))
+        compilation = self._compiler.compile(
+            query, optimize_query=False, strategy=LfpStrategy.SEMINAIVE
+        )
+        return build_plan(predicate, compilation)
+
+    def _register_plan(self, view: str, plan: MaintenancePlan) -> None:
+        self.views.register_view(
+            view, {p: plan.types[p] for p in plan.derived}, plan.base
+        )
+        self._view_plans[view] = plan
+
+    def _plan_for(self, view: str) -> MaintenancePlan:
+        plan = self._view_plans.get(view)
+        if plan is None:
+            plan = self._build_plan(view)
+            self._view_plans[view] = plan
+        return plan
+
+    def _tables_of(self, plan: MaintenancePlan) -> dict[str, str]:
+        return plan.table_of(fact_table_name, view_table_name)
+
+    def _invalidate_views_for(self, predicates: Iterable[str]) -> None:
+        """Mark views stale whose derived support intersects ``predicates``."""
+        stale = self.views.views_supported_by(predicates)
+        if stale:
+            self.views.mark_stale(stale)
+            for view in stale:
+                self._view_plans.pop(view, None)
+
+    def _stage_rows(
+        self, predicate: str, rows: list[tuple], keep_existing: bool
+    ) -> str:
+        """Stage the distinct update rows in a temporary relation.
+
+        With ``keep_existing`` the stage keeps only rows the base relation
+        currently holds (the rows a delete will actually remove); without
+        it, only genuinely new rows (the Δ-seed of an insert).  Call before
+        applying the base-table change.
+        """
+        schema = self.catalog.schema_of(predicate)
+        name = self.database.fresh_temp_name(f"mstage_{predicate}")
+        staged = RelationSchema(name, schema.types)
+        self.database.create_relation(staged, temporary=True)
+        self.database.insert_rows(staged, list(dict.fromkeys(rows)))
+        columns = ", ".join(staged.columns)
+        membership = "NOT IN" if keep_existing else "IN"
+        self.database.execute(
+            f"DELETE FROM {quote_identifier(name)} "
+            f"WHERE ({columns}) {membership} "
+            f"(SELECT {columns} FROM {quote_identifier(schema.name)})"
+        )
+        return name
+
+    def _maintain_inserts(
+        self, predicate: str, rows: list[tuple], views: list[str]
+    ) -> int:
+        plans = [self._plan_for(v) for v in views]
+        merged = merge_plans(plans)
+        stage = self._stage_rows(predicate, rows, keep_existing=False)
+        count = self.catalog.insert_facts(predicate, rows)
+        started = time.perf_counter()
+        if merged.has_negation:
+            self._refresh_fallback(
+                views, plans, "insert", "rules contain negation", count
+            )
+        else:
+            stats = propagate_inserts(
+                self.database, merged, self._tables_of(merged), {predicate: stage}
+            )
+            self.views.bump_epoch(views)
+            self.maintenance_log.append(
+                MaintenanceResult(
+                    tuple(views),
+                    "insert",
+                    "delta",
+                    seconds=time.perf_counter() - started,
+                    base_rows_changed=count,
+                    tuples_added=stats.tuples_added,
+                    iterations=stats.iterations,
+                )
+            )
+        self.database.drop_relation(stage)
+        self.database.commit()
+        return count
+
+    def _maintain_deletes(
+        self, predicate: str, rows: list[tuple], views: list[str]
+    ) -> int:
+        plans = [self._plan_for(v) for v in views]
+        merged = merge_plans(plans)
+        stage = self._stage_rows(predicate, rows, keep_existing=True)
+        decision = self.maintenance_policy.decide(
+            self.database.row_count(stage),
+            self.catalog.fact_count(predicate),
+            sum(self.views.tuple_count(p) for p in merged.derived),
+        )
+        started = time.perf_counter()
+        run = None
+        if not merged.has_negation and decision.use_incremental:
+            # Over-delete against the pre-deletion base relations: a rule
+            # joining the deleted relation against itself derives
+            # candidates from pairs of deleted rows, invisible afterwards.
+            run = DeleteMaintenance(
+                self.database, merged, self._tables_of(merged)
+            )
+            run.overdelete({predicate: stage})
+        deleted = self.catalog.delete_rows(predicate, rows)
+        if run is not None:
+            stats = run.apply_and_rederive()
+            self.views.bump_epoch(views)
+            self.maintenance_log.append(
+                MaintenanceResult(
+                    tuple(views),
+                    "delete",
+                    "dred",
+                    seconds=time.perf_counter() - started,
+                    base_rows_changed=deleted,
+                    tuples_removed=stats.tuples_removed,
+                    iterations=stats.iterations,
+                    decision=decision,
+                )
+            )
+        else:
+            reason = (
+                "rules contain negation"
+                if merged.has_negation
+                else decision.reason
+            )
+            self._refresh_fallback(
+                views, plans, "delete", reason, deleted, decision
+            )
+        self.database.drop_relation(stage)
+        self.database.commit()
+        return deleted
+
+    def _refresh_fallback(
+        self,
+        views: list[str],
+        plans: list[MaintenancePlan],
+        trigger: str,
+        reason: str,
+        base_rows_changed: int,
+        decision: object | None = None,
+    ) -> None:
+        """Full-refresh every affected view (the incremental paths' fallback)."""
+        started = time.perf_counter()
+        total = 0
+        for view, plan in zip(views, plans):
+            total += full_refresh(
+                self.database, plan, self._tables_of(plan), self.fastpath
+            )
+            self.views.mark_group_fresh(view)
+        self.views.bump_epoch(views)
+        self.maintenance_log.append(
+            MaintenanceResult(
+                tuple(views),
+                trigger,
+                "refresh",
+                fell_back=True,
+                reason=reason,
+                seconds=time.perf_counter() - started,
+                base_rows_changed=base_rows_changed,
+                tuples_added=total,
+                decision=decision,
+            )
+        )
+
+    def _answer_from_views(self, query: Query) -> "QueryResult | None":
+        """Answer a query by a plain SELECT over views and base relations.
+
+        Applicable when every goal predicate is either a fresh materialized
+        relation or a base relation (and at least one goal is positive);
+        returns ``None`` otherwise, sending the query down the ordinary
+        compile-and-evaluate path.
+        """
+        table_of: dict[str, str] = {}
+        for goal in query.goals:
+            predicate = goal.predicate
+            if predicate in table_of:
+                continue
+            if self.views.is_fresh(predicate):
+                table_of[predicate] = view_table_name(predicate)
+            elif self.catalog.has_relation(predicate):
+                table_of[predicate] = fact_table_name(predicate)
+            else:
+                return None
+        if all(goal.negated for goal in query.goals):
+            return None
+        started = time.perf_counter()
+        select = compile_rule_body(query.as_clause())
+        with self.database.phase(VIEW_ANSWER_PHASE):
+            rows = self.database.execute(
+                select.render([table_of[p] for p in select.table_slots]),
+                select.parameters,
+            )
+        if not query.answer_variables:
+            rows = [()] if rows else []
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            rows, None, ExecutionResult(rows), elapsed, answered_from_view=True
+        )
 
     # -- querying ----------------------------------------------------------------
 
@@ -174,6 +551,7 @@ class Testbed:
         strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
         precompile: bool = False,
         fastpath: FastPathConfig | None = None,
+        use_views: bool = True,
     ) -> QueryResult:
         """Compile and execute a query; returns rows and all measurements.
 
@@ -184,7 +562,19 @@ class Testbed:
 
         ``fastpath`` overrides the session's default fast-path
         configuration for this one execution.
+
+        With ``use_views=True`` (the default) a query whose goals are all
+        fresh materialized views or base relations is answered by a plain
+        SELECT over those relations — no compilation, no LFP evaluation
+        (``QueryResult.answered_from_view`` marks such results).  Pass
+        ``use_views=False`` to force the compile-and-evaluate path.
         """
+        if use_views and self.views.has_views():
+            if isinstance(query, str):
+                query = parse_query(query)
+            answered = self._answer_from_views(query)
+            if answered is not None:
+                return answered
         if precompile:
             key = cache_key(query, optimize, strategy)
             compilation = self.precompiled.get(key)
@@ -251,10 +641,13 @@ class Testbed:
 
         Cached plans may embed workspace rules, so clearing the workspace
         through this method (rather than ``workspace.clear()`` directly)
-        keeps the precompiled-query cache consistent.
+        keeps the precompiled-query cache consistent.  Materialized views
+        built over workspace rules are marked stale.
         """
+        derived = self.workspace.derived_predicates
         self.workspace.clear()
         self.precompiled.clear()
+        self._invalidate_views_for(derived)
 
     # -- introspection ------------------------------------------------------------
 

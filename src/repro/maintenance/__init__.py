@@ -1,0 +1,46 @@
+"""Incremental maintenance of materialized derived predicates.
+
+An extension beyond the paper (which only treats rule-base updates,
+section 4.3): derived predicates can be *materialized* as persistent DBMS
+relations and kept correct under EDB fact inserts and deletes without full
+recomputation — delta propagation for inserts, DRed (delete-and-rederive)
+for deletes, with a cost heuristic falling back to a full refresh.  All of
+it is off by default; nothing changes until ``Testbed.materialize`` is
+called.
+"""
+
+from .delta import PHASE_MAINT_DELTA, DeltaStats, propagate_inserts
+from .dred import (
+    PHASE_MAINT_DRED,
+    DeleteMaintenance,
+    DredStats,
+    MaintenanceDecision,
+    MaintenancePolicy,
+)
+from .plan import MaintenancePlan, MaintenanceResult, build_plan, merge_plans
+from .refresh import PHASE_MAINT_REFRESH, full_refresh
+from .registry import (
+    MaterializedViewRegistry,
+    ViewInfo,
+    view_table_name,
+)
+
+__all__ = [
+    "DeleteMaintenance",
+    "DeltaStats",
+    "DredStats",
+    "MaintenanceDecision",
+    "MaintenancePlan",
+    "MaintenancePolicy",
+    "MaintenanceResult",
+    "MaterializedViewRegistry",
+    "PHASE_MAINT_DELTA",
+    "PHASE_MAINT_DRED",
+    "PHASE_MAINT_REFRESH",
+    "ViewInfo",
+    "build_plan",
+    "full_refresh",
+    "merge_plans",
+    "propagate_inserts",
+    "view_table_name",
+]

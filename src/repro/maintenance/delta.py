@@ -1,0 +1,134 @@
+"""Insert maintenance: semi-naive delta propagation into materialized views.
+
+New EDB facts can only *add* derived tuples (the rules are positive Horn
+clauses), so insert maintenance is the semi-naive differential loop of
+:mod:`repro.runtime.seminaive` started from the inserted tuples instead of
+from scratch: seed a Δ-relation per updated base predicate with the
+genuinely new rows, then ping-pong — each rule is re-run once per body
+occurrence that has a delta, with that occurrence redirected at the delta
+and every other occurrence at the full (materialized) relation.  Tuples
+already present in the view are stripped from the new delta exactly as the
+from-scratch loop strips already-known tuples, so the loop terminates as
+soon as the update's consequences are exhausted.
+
+All statements run under the ``maint_delta`` phase, so ``Statistics``
+breaks maintenance cost out from query execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..dbms.engine import Database
+from ..dbms.schema import RelationSchema, quote_identifier
+from ..dbms.sqlgen import compile_rule_body, copy_sql, insert_new_tuples_sql
+from ..errors import EvaluationError
+from ..runtime import naive
+from .plan import MaintenancePlan
+
+PHASE_MAINT_DELTA = "maint_delta"
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """Outcome of one insert-propagation run."""
+
+    iterations: int
+    tuples_added: int
+
+
+def propagate_inserts(
+    database: Database,
+    plan: MaintenancePlan,
+    table_of: Mapping[str, str],
+    seed_tables: Mapping[str, str],
+) -> DeltaStats:
+    """Propagate inserted tuples into the plan's materialized relations.
+
+    Args:
+        database: the DBMS handle.
+        plan: the (possibly merged) maintenance plan; must be negation-free.
+        table_of: predicate-to-table mapping covering the plan's whole
+            vocabulary (base facts and materialized relations).
+        seed_tables: per updated predicate, a staged relation holding the
+            *genuinely new* rows (already deduplicated and stripped of rows
+            the relation previously contained).  Seeds may be base or
+            derived predicates — the re-derivation phase of DRed reuses
+            this loop with derived seeds.
+
+    Raises:
+        EvaluationError: when the plan contains negation (the caller should
+            have fallen back to a full refresh), or when propagation exceeds
+            :data:`repro.runtime.naive.MAX_ITERATIONS`.
+    """
+    if plan.has_negation:
+        raise EvaluationError(
+            f"plan for {plan.view!r} contains negation; delta propagation "
+            "is unsound — use a full refresh"
+        )
+    compiled = [(c, compile_rule_body(c)) for c in plan.rules]
+    delta: dict[str, str] = dict(seed_tables)
+    created: list[str] = []
+    iterations = 0
+    added = 0
+    with database.phase(PHASE_MAINT_DELTA):
+        try:
+            while delta:
+                if iterations >= naive.MAX_ITERATIONS:
+                    raise EvaluationError(
+                        f"insert maintenance of {plan.view!r} did not "
+                        f"converge within MAX_ITERATIONS="
+                        f"{naive.MAX_ITERATIONS} iterations"
+                    )
+                iterations += 1
+                new_delta: dict[str, str] = {}
+                for clause, select in compiled:
+                    head = clause.head_predicate
+                    for index, predicate in enumerate(
+                        select.positive_predicates
+                    ):
+                        if predicate not in delta:
+                            continue
+                        if head not in new_delta:
+                            name = database.fresh_temp_name(f"mdelta_{head}")
+                            database.create_relation(
+                                RelationSchema(name, plan.types[head]),
+                                temporary=True,
+                            )
+                            created.append(name)
+                            new_delta[head] = name
+                        tables = [
+                            delta[p] if j == index else table_of[p]
+                            for j, p in enumerate(select.table_slots)
+                        ]
+                        database.execute(
+                            insert_new_tuples_sql(
+                                new_delta[head],
+                                select.render(tables),
+                                clause.head.arity,
+                            ),
+                            select.parameters,
+                        )
+                # Strip tuples the views already hold, fold the survivors in;
+                # the surviving delta drives the next iteration.
+                next_delta: dict[str, str] = {}
+                for head, name in new_delta.items():
+                    arity = len(plan.types[head])
+                    columns = ", ".join(f"c{i}" for i in range(arity))
+                    database.execute(
+                        f"DELETE FROM {quote_identifier(name)} "
+                        f"WHERE ({columns}) IN "
+                        f"(SELECT {columns} FROM "
+                        f"{quote_identifier(table_of[head])})"
+                    )
+                    count = database.row_count(name)
+                    if count:
+                        database.execute(copy_sql(table_of[head], name, arity))
+                        added += count
+                        next_delta[head] = name
+                delta = next_delta
+        finally:
+            for name in created:
+                database.drop_relation(name)
+    return DeltaStats(iterations, added)

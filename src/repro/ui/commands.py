@@ -36,6 +36,10 @@ queries ('?- anc(a, X).'), or commands:
   :stored               summarise the stored D/KB
   :relations            list base relations with types and sizes
   :facts PRED           show the tuples of a base relation
+  :materialize PRED     materialize a derived predicate as a persistent view
+  :refresh [PRED]       recompute materialized views (one, or all)
+  :views                list materialized views with freshness and sizes
+  :dropview PRED        drop a materialized view
   :load FILE            read clauses from FILE
   :save FILE            write the workspace rules to FILE
   :check                evaluate the integrity constraints
@@ -74,6 +78,10 @@ class CommandInterpreter:
             "stored": self._cmd_stored,
             "relations": self._cmd_relations,
             "facts": self._cmd_facts,
+            "materialize": self._cmd_materialize,
+            "refresh": self._cmd_refresh,
+            "views": self._cmd_views,
+            "dropview": self._cmd_dropview,
             "load": self._cmd_load,
             "save": self._cmd_save,
             "check": self._cmd_check,
@@ -147,12 +155,18 @@ class CommandInterpreter:
         count = len(set(result.rows))
         lines.append(f"{count} answer{'s' if count != 1 else ''}")
         if self.state.timing:
-            lines.append(
-                f"t_c = {result.compile_seconds * 1000:.2f} ms, "
-                f"t_e = {result.execution_seconds * 1000:.2f} ms, "
-                f"iterations = {result.execution.total_iterations}, "
-                f"optimized = {result.compilation.optimized}"
-            )
+            if result.answered_from_view:
+                lines.append(
+                    f"t_e = {result.execution_seconds * 1000:.2f} ms "
+                    "(answered from materialized view)"
+                )
+            else:
+                lines.append(
+                    f"t_c = {result.compile_seconds * 1000:.2f} ms, "
+                    f"t_e = {result.execution_seconds * 1000:.2f} ms, "
+                    f"iterations = {result.execution.total_iterations}, "
+                    f"optimized = {result.compilation.optimized}"
+                )
         return "\n".join(lines)
 
     # -- commands -------------------------------------------------------------
@@ -230,6 +244,45 @@ class CommandInterpreter:
         lines = [f"  ({', '.join(str(v) for v in row)})" for row in sorted(rows)]
         lines.append(f"{len(rows)} tuples")
         return "\n".join(lines)
+
+    def _cmd_materialize(self, argument: str) -> str:
+        if not argument:
+            return "usage: :materialize PREDICATE"
+        count = self.testbed.materialize(argument)
+        return f"materialized {argument}: {count} tuples"
+
+    def _cmd_refresh(self, argument: str) -> str:
+        results = self.testbed.refresh(argument or None)
+        if not results:
+            return "no materialized views"
+        lines = []
+        for result in results:
+            view = "+".join(result.views)
+            lines.append(
+                f"refreshed {view}: {result.tuples_added} tuples "
+                f"in {result.seconds * 1000:.2f} ms"
+            )
+        return "\n".join(lines)
+
+    def _cmd_views(self, __: str) -> str:
+        infos = self.testbed.views.views()
+        if not infos:
+            return "no materialized views"
+        lines = []
+        for info in infos:
+            count = self.testbed.views.tuple_count(info.predicate)
+            state = "fresh" if info.fresh else "stale"
+            lines.append(
+                f"  {info.predicate}/{info.arity}: {count} tuples, "
+                f"{state}, epoch {info.epoch}"
+            )
+        return "\n".join(lines)
+
+    def _cmd_dropview(self, argument: str) -> str:
+        if not argument:
+            return "usage: :dropview PREDICATE"
+        self.testbed.drop_view(argument)
+        return f"dropped view {argument}"
 
     def _cmd_stored(self, __: str) -> str:
         return (

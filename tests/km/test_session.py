@@ -54,6 +54,33 @@ class TestFactLoading:
             testbed.load_facts("ghost", [("a",)])
 
 
+class TestFactDeletion:
+    def test_delete_visible_to_queries(self, family_testbed):
+        """Deletion changes answers without any materialization in play."""
+        before = set(family_testbed.query("?- ancestor('john', X).").rows)
+        assert ("sue",) in before
+        assert family_testbed.delete_facts("parent", [("mary", "sue")]) == 1
+        after = set(family_testbed.query("?- ancestor('john', X).").rows)
+        assert ("sue",) not in after
+        assert after == before - {("sue",), ("ann",)}
+
+    def test_delete_removes_duplicates(self, testbed):
+        testbed.define_base_relation("edge", ("TEXT", "TEXT"))
+        testbed.load_facts("edge", [("a", "b"), ("a", "b"), ("a", "c")])
+        assert testbed.delete_facts("edge", [("a", "b")]) == 2
+        assert testbed.catalog.facts_of("edge") == [("a", "c")]
+
+    def test_delete_missing_row_is_noop(self, testbed):
+        testbed.define_base_relation("edge", ("TEXT", "TEXT"))
+        testbed.load_facts("edge", [("a", "b")])
+        assert testbed.delete_facts("edge", [("x", "y")]) == 0
+        assert testbed.catalog.fact_count("edge") == 1
+
+    def test_delete_from_missing_relation_rejected(self, testbed):
+        with pytest.raises(CatalogError):
+            testbed.delete_facts("ghost", [("a",)])
+
+
 class TestQuery:
     def test_rows_and_measurements(self, family_testbed):
         result = family_testbed.query("?- ancestor('john', X).")

@@ -1,0 +1,147 @@
+"""End-to-end DRed correctness through the Testbed session layer."""
+
+import pytest
+
+from repro.maintenance import MaintenancePolicy
+
+PERMISSIVE = MaintenancePolicy(
+    max_delete_fraction=1.0, max_derived_base_ratio=float("inf")
+)
+
+
+def rows_of(testbed, text):
+    return sorted(set(testbed.query(text).rows))
+
+
+def slow_rows(testbed, text):
+    return sorted(set(testbed.query(text, use_views=False).rows))
+
+
+@pytest.fixture
+def path_testbed(testbed):
+    testbed.maintenance_policy = PERMISSIVE
+    testbed.define(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        """
+    )
+    testbed.define_base_relation("edge", ("TEXT", "TEXT"))
+    return testbed
+
+
+class TestJointDeletion:
+    def test_pair_join_candidates_found(self, testbed):
+        """Over-deletion must run against the pre-deletion base relations.
+
+        ``p(a, c)`` is derived by joining the two deleted rows against each
+        other; a post-deletion differential pass could never produce it.
+        """
+        testbed.maintenance_policy = PERMISSIVE
+        testbed.define("p(X, Y) :- b(X, Z), b(Z, Y).")
+        testbed.define_base_relation("b", ("TEXT", "TEXT"))
+        testbed.load_facts("b", [("a", "m"), ("m", "c")])
+        testbed.materialize("p")
+        assert rows_of(testbed, "?- p(X, Y).") == [("a", "c")]
+
+        testbed.delete_facts("b", [("a", "m"), ("m", "c")])
+        assert testbed.maintenance_log[-1].strategy == "dred"
+        assert rows_of(testbed, "?- p(X, Y).") == []
+        assert testbed.views.tuple_count("p") == 0
+
+
+class TestRederivation:
+    def test_alternative_derivation_survives(self, path_testbed):
+        tb = path_testbed
+        tb.load_facts(
+            "edge", [("a", "b"), ("b", "d"), ("a", "c"), ("c", "d")]
+        )
+        tb.materialize("path")
+        tb.delete_facts("edge", [("a", "b")])
+        assert tb.maintenance_log[-1].strategy == "dred"
+        # (a, d) survives through c; (a, b) and (b, d)-reachability from a
+        # are gone.
+        assert rows_of(tb, "?- path(a, X).") == [("c",), ("d",)]
+        assert rows_of(tb, "?- path(X, Y).") == slow_rows(tb, "?- path(X, Y).")
+
+    def test_chain_cascade(self, path_testbed):
+        tb = path_testbed
+        edges = [("n0", "n1"), ("n1", "n2"), ("n2", "n3"), ("n3", "n4")]
+        tb.load_facts("edge", edges)
+        tb.materialize("path")
+        tb.delete_facts("edge", [("n1", "n2")])
+        assert tb.maintenance_log[-1].strategy == "dred"
+        assert rows_of(tb, "?- path(n0, X).") == [("n1",)]
+        assert rows_of(tb, "?- path(X, Y).") == slow_rows(tb, "?- path(X, Y).")
+
+    def test_delete_then_reinsert_round_trips(self, path_testbed):
+        tb = path_testbed
+        edges = [("a", "b"), ("b", "c"), ("c", "d")]
+        tb.load_facts("edge", edges)
+        tb.materialize("path")
+        before = rows_of(tb, "?- path(X, Y).")
+        tb.delete_facts("edge", [("b", "c")])
+        tb.load_facts("edge", [("b", "c")])
+        assert rows_of(tb, "?- path(X, Y).") == before
+
+
+class TestFallbacks:
+    def test_cost_heuristic_falls_back_to_refresh(self, path_testbed):
+        tb = path_testbed
+        tb.maintenance_policy = MaintenancePolicy(max_delete_fraction=0.0)
+        tb.load_facts("edge", [("a", "b"), ("b", "c"), ("c", "d")])
+        tb.materialize("path")
+        tb.delete_facts("edge", [("b", "c")])
+        entry = tb.maintenance_log[-1]
+        assert entry.strategy == "refresh"
+        assert entry.fell_back
+        assert "fraction" in entry.reason
+        assert entry.decision is not None
+        assert not entry.decision.use_incremental
+        assert rows_of(tb, "?- path(X, Y).") == [("a", "b"), ("c", "d")]
+
+    def test_negation_falls_back_on_delete(self, testbed):
+        tb = testbed
+        tb.maintenance_policy = PERMISSIVE
+        tb.define("only(X) :- node(X), not blocked(X).")
+        tb.define_base_relation("node", ("TEXT",))
+        tb.define_base_relation("blocked", ("TEXT",))
+        tb.load_facts("node", [("a",), ("b",), ("c",)])
+        tb.load_facts("blocked", [("b",)])
+        tb.materialize("only")
+        assert rows_of(tb, "?- only(X).") == [("a",), ("c",)]
+        tb.delete_facts("blocked", [("b",)])
+        entry = tb.maintenance_log[-1]
+        assert entry.strategy == "refresh"
+        assert entry.reason == "rules contain negation"
+        assert rows_of(tb, "?- only(X).") == [("a",), ("b",), ("c",)]
+
+    def test_fallback_answers_match_slow_path(self, path_testbed):
+        tb = path_testbed
+        tb.maintenance_policy = MaintenancePolicy(max_delete_fraction=0.0)
+        tb.load_facts("edge", [("a", "b"), ("b", "c"), ("a", "c")])
+        tb.materialize("path")
+        tb.delete_facts("edge", [("a", "c")])
+        assert rows_of(tb, "?- path(X, Y).") == slow_rows(tb, "?- path(X, Y).")
+
+
+class TestMultiView:
+    def test_shared_base_views_maintained_jointly(self, testbed):
+        tb = testbed
+        tb.maintenance_policy = PERMISSIVE
+        tb.define(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+            roots(X) :- anc(X, Y).
+            """
+        )
+        tb.define_base_relation("parent", ("TEXT", "TEXT"))
+        tb.load_facts("parent", [("a", "b"), ("b", "c")])
+        tb.materialize("anc")
+        tb.materialize("roots")
+        tb.delete_facts("parent", [("b", "c")])
+        assert rows_of(tb, "?- anc(X, Y).") == [("a", "b")]
+        assert rows_of(tb, "?- roots(X).") == [("a",)]
+        # One merged maintenance pass covered both views.
+        assert set(tb.maintenance_log[-1].views) == {"anc", "roots"}

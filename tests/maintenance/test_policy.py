@@ -1,0 +1,44 @@
+"""Unit tests for the DRed cost heuristic."""
+
+from repro.maintenance import MaintenancePolicy
+
+
+class TestDecide:
+    def test_small_delete_uses_incremental(self):
+        policy = MaintenancePolicy()
+        decision = policy.decide(deleted_rows=1, base_rows=100, derived_rows=400)
+        assert decision.use_incremental
+        assert decision.delete_fraction == 0.01
+        assert decision.derived_base_ratio == 4.0
+
+    def test_large_fraction_falls_back(self):
+        policy = MaintenancePolicy(max_delete_fraction=0.25)
+        decision = policy.decide(deleted_rows=50, base_rows=100, derived_rows=100)
+        assert not decision.use_incremental
+        assert "fraction" in decision.reason
+
+    def test_high_derived_ratio_falls_back(self):
+        policy = MaintenancePolicy(max_derived_base_ratio=10.0)
+        decision = policy.decide(deleted_rows=1, base_rows=10, derived_rows=500)
+        assert not decision.use_incremental
+        assert "ratio" in decision.reason
+
+    def test_empty_base_falls_back(self):
+        decision = MaintenancePolicy().decide(
+            deleted_rows=0, base_rows=0, derived_rows=0
+        )
+        assert not decision.use_incremental
+
+    def test_boundary_is_inclusive(self):
+        policy = MaintenancePolicy(
+            max_delete_fraction=0.5, max_derived_base_ratio=2.0
+        )
+        decision = policy.decide(deleted_rows=5, base_rows=10, derived_rows=20)
+        assert decision.use_incremental
+
+    def test_permissive_policy_always_incremental(self):
+        policy = MaintenancePolicy(
+            max_delete_fraction=1.0, max_derived_base_ratio=float("inf")
+        )
+        decision = policy.decide(deleted_rows=9, base_rows=10, derived_rows=9000)
+        assert decision.use_incremental

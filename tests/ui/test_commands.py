@@ -118,6 +118,44 @@ class TestCommands:
             "error" in interpreter.execute(":load /no/such/file")
         )
 
+    def test_materialize_refresh_views_dropview(self, interpreter):
+        loaded(interpreter)
+        assert interpreter.execute(":views") == "no materialized views"
+        assert "usage" in interpreter.execute(":materialize")
+        response = interpreter.execute(":materialize anc")
+        assert response == "materialized anc: 3 tuples"
+        listing = interpreter.execute(":views")
+        assert "anc/2" in listing
+        assert "3 tuples" in listing
+        assert "fresh" in listing
+        refreshed = interpreter.execute(":refresh anc")
+        assert "refreshed anc: 3 tuples" in refreshed
+        assert "refreshed anc" in interpreter.execute(":refresh")
+        assert interpreter.execute(":dropview anc") == "dropped view anc"
+        assert interpreter.execute(":views") == "no materialized views"
+
+    def test_materialize_errors_reported(self, interpreter):
+        loaded(interpreter)
+        assert interpreter.execute(":materialize parent").startswith("error:")
+        assert interpreter.execute(":refresh anc").startswith("error:")
+        assert "usage" in interpreter.execute(":dropview")
+        assert interpreter.execute(":refresh") == "no materialized views"
+
+    def test_view_answer_timing_line(self, interpreter):
+        loaded(interpreter)
+        interpreter.execute(":materialize anc")
+        interpreter.execute(":timing on")
+        response = interpreter.execute("?- anc(a, X).")
+        assert "answered from materialized view" in response
+        assert "2 answers" in response
+
+    def test_help_lists_view_commands(self, interpreter):
+        text = interpreter.execute(":help")
+        assert ":materialize" in text
+        assert ":refresh" in text
+        assert ":views" in text
+        assert ":dropview" in text
+
     def test_quit(self, interpreter):
         assert interpreter.execute(":quit") == "bye"
         assert interpreter.finished

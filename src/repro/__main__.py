@@ -1,6 +1,24 @@
-"""``python -m repro`` launches the User Interface REPL."""
+"""``python -m repro`` launches the User Interface REPL.
 
-from .ui.repl import main
+Subcommands:
+
+* ``python -m repro lint ...`` — the rule-base static analyzer
+  (:mod:`repro.analysis.cli`); everything else goes to the REPL.
+"""
+
+import sys
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if arguments and arguments[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+    from .ui.repl import main as repl_main
+
+    return repl_main(arguments)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

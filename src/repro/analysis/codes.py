@@ -1,0 +1,75 @@
+"""The stable diagnostic code catalog of the rule-base static analyzer.
+
+Every diagnostic the analyzer can emit carries one of the ``DK``-prefixed
+codes below.  Codes are stable identifiers: tools (CI gates, editors, the
+REPL) may match on them, so a code is never renumbered or reused once
+shipped.  :data:`CATALOG` records the default severity and a one-line
+description per code — the same table DESIGN.md section 10 documents.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Severity
+
+#: A pass itself failed; the diagnostic wraps the underlying error.
+INTERNAL_ERROR = "DK000"
+#: A rule is unsafe: a head or negated variable is not range-restricted.
+UNSAFE_RULE = "DK001"
+#: Negation occurs inside a recursive cycle (not stratifiable).
+UNSTRATIFIABLE_NEGATION = "DK002"
+#: Conflicting column types within or between rules, against the stored
+#: dictionary, or between a query constant and its column.
+TYPE_CONFLICT = "DK003"
+#: A referenced predicate is neither a base relation nor defined by rules.
+UNDEFINED_PREDICATE = "DK004"
+#: A rule is unreachable from the query (dead code for this query).
+DEAD_RULE = "DK005"
+#: A rule is a tautology, a duplicate, or subsumed by another rule.
+REDUNDANT_RULE = "DK006"
+#: A derived predicate is defined but never referenced by rules or queries.
+UNREFERENCED_PREDICATE = "DK007"
+#: A recursive predicate is called with an all-free adornment, so magic
+#: sets cannot restrict its evaluation.
+ALL_FREE_RECURSION = "DK008"
+#: A rule body compiles to a SELECT whose FROM list forms a cartesian
+#: product (disconnected join structure).
+CARTESIAN_PRODUCT = "DK009"
+#: A recursive rule carries no constants: every LFP iteration rescans the
+#: participating relations unrestricted.
+CONSTANT_FREE_RECURSION = "DK010"
+
+#: code -> (default severity, one-line description).
+CATALOG: dict[str, tuple[Severity, str]] = {
+    INTERNAL_ERROR: (Severity.ERROR, "an analysis pass failed internally"),
+    UNSAFE_RULE: (Severity.ERROR, "unsafe rule (not range-restricted)"),
+    UNSTRATIFIABLE_NEGATION: (
+        Severity.ERROR,
+        "negation inside a recursive cycle (not stratifiable)",
+    ),
+    TYPE_CONFLICT: (Severity.ERROR, "conflicting column types"),
+    UNDEFINED_PREDICATE: (
+        Severity.ERROR,
+        "predicate neither defined by rules nor a base relation",
+    ),
+    DEAD_RULE: (Severity.WARNING, "rule unreachable from the query"),
+    REDUNDANT_RULE: (
+        Severity.WARNING,
+        "tautological, duplicate, or subsumed rule",
+    ),
+    UNREFERENCED_PREDICATE: (
+        Severity.INFO,
+        "derived predicate never referenced by rules or the query",
+    ),
+    ALL_FREE_RECURSION: (
+        Severity.WARNING,
+        "recursive predicate called with an all-free adornment",
+    ),
+    CARTESIAN_PRODUCT: (
+        Severity.WARNING,
+        "rule body compiles to a cartesian product",
+    ),
+    CONSTANT_FREE_RECURSION: (
+        Severity.INFO,
+        "recursive rule has no constants to restrict iteration",
+    ),
+}

@@ -1,0 +1,155 @@
+"""Diagnostics: the currency of the rule-base static analyzer.
+
+The paper's Semantic Checker (section 3.2.4) is fail-fast: the first problem
+raises and compilation stops.  The analyzer instead *collects* — every pass
+emits :class:`Diagnostic` values and the driver folds them into one
+:class:`DiagnosticReport`, so a rule base with three independent problems
+needs one run, not three compile attempts, to see them all.
+
+A diagnostic carries a stable ``DK``-prefixed code (:mod:`repro.analysis.codes`),
+a severity, an optional locus (predicate, clause, and the clause's index in
+the analyzed program), and an optional fix hint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..datalog.clauses import Clause
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` findings would make compilation fail (the Semantic Checker
+    raises for them); ``WARNING`` findings are legal but almost certainly
+    unintended; ``INFO`` findings are performance or style observations.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank, highest severity first (``ERROR`` is 0)."""
+        return _SEVERITY_RANK[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    ``clause_index`` is the clause's position in the analyzed program (entry
+    order, 0-based) — together with ``predicate`` it forms the locus a user
+    needs to find the offending rule.  ``hint`` suggests a fix when the pass
+    knows one.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    predicate: str | None = None
+    clause: Clause | None = None
+    clause_index: int | None = None
+    hint: str | None = None
+
+    @property
+    def locus(self) -> str:
+        """Human-readable location, e.g. ``anc, rule #2`` (empty if global)."""
+        parts = []
+        if self.predicate is not None:
+            parts.append(self.predicate)
+        if self.clause_index is not None:
+            parts.append(f"rule #{self.clause_index}")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        locus = f" [{self.locus}]" if self.locus else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{self.code} {self.severity}{locus}: {self.message}{hint}"
+
+
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """Everything the analyzer found, in pass then emission order."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    #: Names of the passes that ran, in execution order.
+    passes_run: tuple[str, ...] = field(default=(), compare=False)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """The error-severity findings, in report order."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """The warning-severity findings, in report order."""
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        """The info-severity findings, in report order."""
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        """True when any finding is error-severity."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """Findings of one severity, in report order."""
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """Findings carrying ``code``, in report order."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> tuple[str, ...]:
+        """All codes in report order (with repeats)."""
+        return tuple(d.code for d in self.diagnostics)
+
+    def code_set(self) -> frozenset[str]:
+        """The distinct codes reported."""
+        return frozenset(d.code for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        """Findings per severity name (always all three keys)."""
+        out = {s.value: 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity.value] += 1
+        return out
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """Multi-line text of the report, filtered to ``min_severity`` and up.
+
+        Ends with a one-line summary (also the whole output when the report
+        is clean).
+        """
+        lines = [
+            str(d)
+            for d in self.diagnostics
+            if d.severity.rank <= min_severity.rank
+        ]
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[s.value]} {s.value}{'s' if counts[s.value] != 1 else ''}"
+            for s in Severity
+        )
+        lines.append(summary)
+        return "\n".join(lines)

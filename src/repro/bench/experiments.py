@@ -352,7 +352,7 @@ def run_lfp_breakdown(
         root = tree_node("t", first_node_at_level(root_level))
         compiled = testbed.compile_query(ancestor_query(root), strategy=strategy)
         testbed.database.statistics.reset()
-        run = timed(
+        timed(
             lambda: compiled.program.execute(testbed.database, testbed.catalog), 1
         )
         phases = testbed.database.statistics.phases()

@@ -12,7 +12,7 @@ which is what lets the Code Generator translate them to SQL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from ..errors import SafetyError
@@ -22,11 +22,23 @@ from .terms import Variable
 
 @dataclass(frozen=True)
 class SafetyViolation:
-    """One unsafe rule with the variables that are not range-restricted."""
+    """One unsafe rule with the variables that are not range-restricted.
+
+    ``index`` is the clause's position in the checked program (entry order),
+    when the violation came from a whole-program check — it gives error
+    messages a locus the user can navigate to, not just a variable name.
+    """
 
     clause: Clause
     unrestricted_head: tuple[Variable, ...]
     unrestricted_negated: tuple[Variable, ...]
+    index: int | None = None
+
+    @property
+    def locus(self) -> str:
+        """Which rule is unsafe: head predicate plus program position."""
+        position = f" (rule #{self.index})" if self.index is not None else ""
+        return f"rule defining {self.clause.head_predicate!r}{position}"
 
     def describe(self) -> str:
         """Human-readable explanation of the violation."""
@@ -37,7 +49,7 @@ class SafetyViolation:
         if self.unrestricted_negated:
             names = ", ".join(v.name for v in self.unrestricted_negated)
             parts.append(f"negated-atom variables not bound positively: {names}")
-        return f"unsafe rule {self.clause}: " + "; ".join(parts)
+        return f"unsafe {self.locus}, {self.clause}: " + "; ".join(parts)
 
 
 def check_clause(clause: Clause) -> SafetyViolation | None:
@@ -61,12 +73,12 @@ def check_clause(clause: Clause) -> SafetyViolation | None:
 
 
 def violations(clauses: Iterable[Clause]) -> list[SafetyViolation]:
-    """All safety violations among ``clauses``."""
+    """All safety violations among ``clauses``, with their entry positions."""
     found = []
-    for clause in clauses:
+    for index, clause in enumerate(clauses):
         violation = check_clause(clause)
         if violation is not None:
-            found.append(violation)
+            found.append(replace(violation, index=index))
     return found
 
 

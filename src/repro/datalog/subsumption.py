@@ -18,7 +18,7 @@ from typing import Iterable, Optional, Sequence
 
 from .clauses import Clause, Program
 from .terms import Atom
-from .unify import Substitution, apply_substitution, match_atom_oneway
+from .unify import Substitution, match_atom_oneway
 
 
 def subsumes(general: Clause, specific: Clause) -> bool:

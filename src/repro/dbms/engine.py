@@ -217,6 +217,15 @@ class Statistics:
                 StatementEvent(self.current_phase, kind, seconds)
             )
 
+    def record_span(self, phase: str, seconds: float) -> None:
+        """Attribute non-statement wall time to ``phase``.
+
+        Pure-CPU work that issues no SQL (e.g. the ``lint`` phase of query
+        compilation) still shows up in the per-phase breakdown this way —
+        with zero statements, only seconds.
+        """
+        self._phases.setdefault(phase, PhaseStats()).seconds += seconds
+
     def phase(self, name: str) -> PhaseStats:
         """The statistics bucket for ``name`` (empty bucket if unused)."""
         return self._phases.get(name, PhaseStats())

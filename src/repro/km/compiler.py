@@ -10,6 +10,8 @@ component so Tests 1-3 can report the breakdown:
 * ``readdict``  — reading the extensional and intensional data dictionaries
                   (``t_readdict``);
 * ``semantic``  — the two semantic checks (definedness, type inference);
+* ``lint``      — the optional full static-analysis run (all passes of
+                  :mod:`repro.analysis`, not just the error-level ones);
 * ``optimize``  — the optional generalized-magic-sets rewriting;
 * ``eorder``    — clique finding, evaluation graph construction, and the
                   topological sort (``t_eorder``);
@@ -23,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Union
 
+from ..analysis import DiagnosticReport, analyze
 from ..datalog.adornment import reorder_body_for_sip
 from ..datalog.clauses import Program, Query
 from ..datalog.evalgraph import build_evaluation_graph, evaluation_order
@@ -46,6 +49,7 @@ class CompilationTimings:
     extract: float = 0.0
     readdict: float = 0.0
     semantic: float = 0.0
+    lint: float = 0.0
     optimize: float = 0.0
     eorder: float = 0.0
     gencompile: float = 0.0
@@ -58,6 +62,7 @@ class CompilationTimings:
             + self.extract
             + self.readdict
             + self.semantic
+            + self.lint
             + self.optimize
             + self.eorder
             + self.gencompile
@@ -70,6 +75,7 @@ class CompilationTimings:
             "extract": self.extract,
             "readdict": self.readdict,
             "semantic": self.semantic,
+            "lint": self.lint,
             "optimize": self.optimize,
             "eorder": self.eorder,
             "gencompile": self.gencompile,
@@ -86,6 +92,8 @@ class CompilationResult:
     ``relevant_rules`` and ``relevant_predicates`` overall.
     ``adaptive_decision`` is set when the compiler was asked to decide
     optimization dynamically (``optimize_query="auto"``).
+    ``diagnostics`` holds the full collect-all lint report when the compiler
+    was invoked with ``lint=True`` (otherwise ``None``).
     """
 
     program: QueryProgram
@@ -95,6 +103,7 @@ class CompilationResult:
     counts: dict[str, int] = field(default_factory=dict)
     optimized: bool = False
     adaptive_decision: "AdaptiveDecision | None" = None
+    diagnostics: DiagnosticReport | None = None
 
 
 class QueryCompiler:
@@ -118,6 +127,7 @@ class QueryCompiler:
         optimize_query: Union[bool, str] = False,
         strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
         reorder_bodies: bool = False,
+        lint: bool = False,
     ) -> CompilationResult:
         """Compile ``query`` into an executable program.
 
@@ -130,6 +140,11 @@ class QueryCompiler:
             reorder_bodies: greedily reorder rule bodies so bound atoms come
                 first (the information-passing strategy the paper lists as
                 designed but unimplemented; :func:`reorder_body_for_sip`).
+            lint: additionally run the full static-analysis pass set over
+                the relevant rules and attach the collect-all report to
+                ``CompilationResult.diagnostics``; the time spent is the
+                ``lint`` timing component and a ``lint`` phase in the DBMS
+                statistics.
 
         Raises:
             SemanticError: from the semantic checks.
@@ -197,6 +212,19 @@ class QueryCompiler:
         started = time.perf_counter()
         report = check_semantics(relevant, query, base_types, dictionary_types)
         timings.semantic = time.perf_counter() - started
+
+        # -- lint: full collect-all analysis (optional) ------------------------
+        diagnostics: DiagnosticReport | None = None
+        if lint:
+            started = time.perf_counter()
+            diagnostics = analyze(
+                relevant,
+                query,
+                base_types=base_types,
+                dictionary_types=dictionary_types,
+            )
+            timings.lint = time.perf_counter() - started
+            self.stored.database.statistics.record_span("lint", timings.lint)
 
         # -- optimization (optional or adaptive) -------------------------------
         rules_for_program = relevant
@@ -273,5 +301,12 @@ class QueryCompiler:
             "stored_derived_relevant": len(dictionary_types),
         }
         return CompilationResult(
-            program, source, timings, relevant, counts, optimized, decision
+            program,
+            source,
+            timings,
+            relevant,
+            counts,
+            optimized,
+            decision,
+            diagnostics,
         )

@@ -1,4 +1,4 @@
-"""The Semantic Checker (paper section 3.2.4).
+"""The Semantic Checker (paper section 3.2.4), on top of the analysis engine.
 
 Two checks run after the relevant rules are assembled:
 
@@ -11,7 +11,15 @@ Two checks run after the relevant rules are assembled:
    recorded in the intensional data dictionary.
 
 We additionally run the safety (range-restriction) check the paper defers to
-future work, because unsafe rules cannot be compiled to SQL anyway.
+future work, because unsafe rules cannot be compiled to SQL anyway, and the
+stratification check for the negation extension.
+
+Since the analyzer PR, all four checks run through the collect-all
+diagnostics engine (:mod:`repro.analysis`): :func:`check_semantics` asks the
+engine for the error-level passes and, to preserve the paper's fail-fast
+contract, raises the historical exception type of the *first* error in
+report order — pass registration order matches the paper's check order, so
+callers observe exactly the pre-engine behaviour.
 """
 
 from __future__ import annotations
@@ -19,11 +27,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..analysis import SEMANTIC_PASSES, AnalysisConfig, DiagnosticReport, analyze
+from ..analysis import codes as diagnostic_codes
 from ..datalog.clauses import Program, Query
-from ..datalog.safety import check_program as check_safety
-from ..datalog.stratify import has_negation, stratify
-from ..datalog.typecheck import TypeEnvironment, check_query_types, infer_types
-from ..errors import TypeInferenceError, UndefinedPredicateError
+from ..datalog.typecheck import TypeEnvironment, infer_types
+from ..errors import (
+    SafetyError,
+    SemanticError,
+    StratificationError,
+    TypeInferenceError,
+    UndefinedPredicateError,
+)
+
+#: Diagnostic code -> the exception type the Semantic Checker raises for it.
+EXCEPTION_BY_CODE: dict[str, type[SemanticError]] = {
+    diagnostic_codes.UNDEFINED_PREDICATE: UndefinedPredicateError,
+    diagnostic_codes.UNSAFE_RULE: SafetyError,
+    diagnostic_codes.UNSTRATIFIABLE_NEGATION: StratificationError,
+    diagnostic_codes.TYPE_CONFLICT: TypeInferenceError,
+}
+
+#: The engine configuration reproducing the historical fail-fast checks:
+#: only the error-level passes, and intensional-dictionary entries do not
+#: count as definitions (they are cross-checked, not trusted).
+SEMANTIC_CONFIG = AnalysisConfig(
+    passes=SEMANTIC_PASSES, dictionary_defines=False
+)
 
 
 @dataclass(frozen=True)
@@ -33,6 +62,34 @@ class SemanticReport:
     types: TypeEnvironment
     derived_predicates: frozenset[str]
     base_predicates: frozenset[str]
+
+
+def raise_semantic_errors(report: DiagnosticReport) -> None:
+    """Raise the historical exception for the first error of ``report``.
+
+    ``DK001`` (unsafe rule) findings are aggregated into one
+    :class:`SafetyError` listing every violation, matching the pre-engine
+    :func:`repro.datalog.safety.check_program` message.
+
+    Raises:
+        UndefinedPredicateError: for a ``DK004`` finding.
+        SafetyError: for ``DK001`` findings (all of them, joined).
+        StratificationError: for a ``DK002`` finding.
+        TypeInferenceError: for a ``DK003`` finding.
+        SemanticError: for any other error-severity finding.
+    """
+    for diagnostic in report.errors:
+        if diagnostic.code == diagnostic_codes.UNDEFINED_PREDICATE:
+            raise UndefinedPredicateError(diagnostic.predicate or "?")
+        if diagnostic.code == diagnostic_codes.UNSAFE_RULE:
+            raise SafetyError(
+                "; ".join(
+                    d.message
+                    for d in report.by_code(diagnostic_codes.UNSAFE_RULE)
+                )
+            )
+        exception = EXCEPTION_BY_CODE.get(diagnostic.code, SemanticError)
+        raise exception(diagnostic.message)
 
 
 def check_semantics(
@@ -57,39 +114,20 @@ def check_semantics(
             base relation nor defined by a rule.
         TypeInferenceError: on any type conflict.
         SafetyError: when a relevant rule is unsafe.
+        StratificationError: when negation occurs inside recursion.
     """
-    derived = rules.derived_predicates
-    known_base = set(base_types)
-
-    referenced: set[str] = set()
-    for clause in rules.rules:
-        referenced.add(clause.head_predicate)
-        referenced.update(clause.body_predicates)
-    referenced.update(query.predicates)
-
-    for predicate in sorted(referenced):
-        if predicate not in derived and predicate not in known_base:
-            if rules.defining(predicate):
-                continue  # defined by workspace facts
-            raise UndefinedPredicateError(predicate)
-
-    check_safety(rules)
-    if has_negation(rules):
-        stratify(rules)  # raises StratificationError when unstratifiable
-
+    report = analyze(
+        rules,
+        query,
+        config=SEMANTIC_CONFIG,
+        base_types=base_types,
+        dictionary_types=dictionary_types or {},
+    )
+    raise_semantic_errors(report)
+    # The error passes found nothing, so full inference cannot conflict.
     environment = infer_types(rules, base_types)
-    if dictionary_types:
-        for predicate, recorded in dictionary_types.items():
-            if predicate in environment:
-                inferred = environment.of(predicate)
-                if inferred != tuple(recorded):
-                    raise TypeInferenceError(
-                        f"stored dictionary lists {predicate!r} as "
-                        f"{tuple(recorded)} but the rules infer {inferred}"
-                    )
-    check_query_types(query.goals, environment)
     return SemanticReport(
         environment,
-        frozenset(derived),
-        frozenset(known_base),
+        frozenset(rules.derived_predicates),
+        frozenset(set(base_types)),
     )

@@ -18,7 +18,8 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Union
 
-from ..datalog.clauses import Clause, Query
+from ..analysis import AnalysisConfig, DiagnosticReport, analyze
+from ..datalog.clauses import Clause, Program, Query
 from ..datalog.parser import parse_program, parse_query
 from ..datalog.terms import Atom, Variable
 from ..dbms.catalog import ExtensionalCatalog, fact_table_name
@@ -535,14 +536,18 @@ class Testbed:
         query: Union[Query, str],
         optimize: Union[bool, str] = False,
         strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
+        lint: bool = False,
     ) -> CompilationResult:
         """Compile a query without executing it (Tests 1-3 use this).
 
         ``optimize`` is ``True``/``False``, or ``"auto"`` to let the
-        adaptive policy choose by estimated selectivity.
+        adaptive policy choose by estimated selectivity.  With ``lint=True``
+        the full static-analysis report is attached to the result
+        (``CompilationResult.diagnostics``) and its cost recorded as the
+        ``lint`` timing component.
         """
         self._check_workspace_consistency()
-        return self._compiler.compile(query, optimize, strategy)
+        return self._compiler.compile(query, optimize, strategy, lint=lint)
 
     def query(
         self,
@@ -607,7 +612,10 @@ class Testbed:
     # -- updating the stored D/KB ---------------------------------------------------
 
     def update_stored_dkb(
-        self, clear_workspace: bool = True, verify_consistency: bool = False
+        self,
+        clear_workspace: bool = True,
+        verify_consistency: bool = False,
+        lint: bool = False,
     ) -> UpdateResult:
         """Fold the workspace rules into the Stored D/KB (paper section 4.3).
 
@@ -616,17 +624,57 @@ class Testbed:
         predicate are dropped.  With ``verify_consistency=True`` every
         integrity constraint (:mod:`repro.km.constraints`) is checked first
         and the update is refused while violations exist — the check the
-        paper's section 4.3 explicitly leaves out.
+        paper's section 4.3 explicitly leaves out.  With ``lint=True`` the
+        update is vetted by the static analyzer and refused when any
+        error-level diagnostic is found.
         """
         if verify_consistency:
             assert_consistent(self)
-        result = update_stored_dkb(self.workspace, self.stored, self.catalog)
+        result = update_stored_dkb(
+            self.workspace, self.stored, self.catalog, lint=lint
+        )
         self.precompiled.invalidate_for(
             {c.head_predicate for c in result.new_rules}
         )
         if clear_workspace:
             self.workspace.clear()
         return result
+
+    def lint(
+        self,
+        query: Union[Query, str, None] = None,
+        config: AnalysisConfig | None = None,
+    ) -> DiagnosticReport:
+        """Statically analyze the session's whole rule base, collect-all.
+
+        Runs every registered lint pass (:mod:`repro.analysis`) over the
+        workspace rules plus *all* stored rules, with base-relation types
+        from the extensional dictionary and stored derived types from the
+        intensional dictionary.  Unlike compilation this never raises on
+        findings — the report carries everything, errors included.
+
+        Args:
+            query: optional query context; enables the reachability and
+                adornment passes.
+            config: optional :class:`AnalysisConfig` overriding the pass
+                selection.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        program = Program(
+            list(self.workspace.program.rules) + list(self.stored.all_rules())
+        )
+        base_types = self.catalog.types_of(self.catalog.relation_names())
+        dictionary_types = self.stored.derived_types_of(
+            sorted(program.derived_predicates)
+        )
+        return analyze(
+            program,
+            query,
+            config=config,
+            base_types=base_types,
+            dictionary_types=dictionary_types,
+        )
 
     def check_consistency(self) -> list:
         """Evaluate every integrity constraint; return the violations.

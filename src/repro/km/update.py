@@ -11,6 +11,7 @@ The measured components mirror Test 9's breakdown:
   workspace rules, so the composite PCG can be built;
 * ``closure`` (``t_utc``)     — the incremental transitive closure;
 * ``typecheck``               — the type checking step;
+* ``lint``                    — the optional static-analysis vetting pass;
 * ``store`` (``t_ustore``)    — writing ``rulesource``, ``ipredicates``,
   ``icolumns`` and ``reachablepreds``.
 
@@ -24,6 +25,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..analysis import AnalysisConfig, analyze
 from ..datalog.clauses import Clause, Program
 from ..datalog.typecheck import infer_types
 from ..dbms.catalog import ExtensionalCatalog
@@ -39,12 +41,19 @@ class UpdateTimings:
     extract: float = 0.0
     closure: float = 0.0
     typecheck: float = 0.0
+    lint: float = 0.0
     store: float = 0.0
 
     @property
     def total(self) -> float:
         """Total update time ``t_u``."""
-        return self.extract + self.closure + self.typecheck + self.store
+        return (
+            self.extract
+            + self.closure
+            + self.typecheck
+            + self.lint
+            + self.store
+        )
 
     def as_dict(self) -> dict[str, float]:
         """Component name to seconds, plus the total."""
@@ -52,6 +61,7 @@ class UpdateTimings:
             "extract": self.extract,
             "closure": self.closure,
             "typecheck": self.typecheck,
+            "lint": self.lint,
             "store": self.store,
             "total": self.total,
         }
@@ -67,10 +77,17 @@ class UpdateResult:
     timings: UpdateTimings
 
 
+#: Vetting configuration: undefined predicates are allowed — a stored rule
+#: may reference predicates whose definitions arrive in a later update
+#: (paper section 3.1) — and dictionary entries count as definitions.
+VET_CONFIG = AnalysisConfig(allow_undefined=True)
+
+
 def update_stored_dkb(
     workspace: WorkspaceDKB,
     stored: StoredDKB,
     catalog: ExtensionalCatalog,
+    lint: bool = False,
 ) -> UpdateResult:
     """Fold the workspace rules into the Stored D/KB.
 
@@ -78,8 +95,18 @@ def update_stored_dkb(
     relevant stored rules, build the composite PCG, incrementally extend the
     stored transitive closure, type check, then write the storage structures.
 
+    Args:
+        workspace: the Workspace D/KB whose rules are folded in.
+        stored: the target Stored D/KB.
+        catalog: the extensional data dictionary.
+        lint: additionally vet the composite rules with the full
+            static-analysis pass set and reject the update when any
+            error-level diagnostic is found; the time spent is the ``lint``
+            timing component.
+
     Raises:
-        UpdateError: when type checking fails against the stored dictionary.
+        UpdateError: when type checking fails against the stored dictionary,
+            or (with ``lint=True``) when vetting finds an error.
     """
     timings = UpdateTimings()
 
@@ -147,6 +174,25 @@ def update_stored_dkb(
         stored.database.rollback()
         raise UpdateError(f"update rejected by type checking: {error}") from error
     timings.typecheck = time.perf_counter() - started
+
+    # Optional vetting: collect-all analysis over the composite rules, run
+    # before anything is written so a rejected update leaves the Stored D/KB
+    # untouched (the closure pairs from step 3 are rolled back).
+    if lint:
+        started = time.perf_counter()
+        report = analyze(
+            composite,
+            config=VET_CONFIG,
+            base_types=base_types,
+            dictionary_types=dictionary_types,
+        )
+        timings.lint = time.perf_counter() - started
+        if report.has_errors:
+            stored.database.rollback()
+            raise UpdateError(
+                "update rejected by static analysis: "
+                + "; ".join(str(d) for d in report.errors)
+            )
 
     # Steps 5-7: write the dictionary, closure, and source structures.
     started = time.perf_counter()

@@ -31,7 +31,7 @@ from ..dbms.schema import quote_identifier
 from ..dbms.sqlgen import compile_rule_body
 from .context import EvaluationContext
 from . import naive
-from .naive import MAX_ITERATIONS, LfpResult, non_convergence_error
+from .naive import LfpResult, non_convergence_error
 
 
 def _create_keyed_table(context: EvaluationContext, name: str, predicate: str) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from ..analysis import Severity
 from ..errors import TestbedError
 from ..km.session import QueryResult, Testbed
 from ..runtime.program import LfpStrategy
@@ -42,7 +43,8 @@ queries ('?- anc(a, X).'), or commands:
   :dropview PRED        drop a materialized view
   :load FILE            read clauses from FILE
   :save FILE            write the workspace rules to FILE
-  :check                evaluate the integrity constraints
+  :check                run the static analyzer and the integrity constraints
+  :lint [QUERY]         statically analyze the rule base (all findings)
   :timing [on|off]      show or toggle timing output
   :clear                clear the workspace
   :quit                 leave the session"""
@@ -85,6 +87,7 @@ class CommandInterpreter:
             "load": self._cmd_load,
             "save": self._cmd_save,
             "check": self._cmd_check,
+            "lint": self._cmd_lint,
             "timing": self._cmd_timing,
             "clear": self._cmd_clear,
             "quit": self._cmd_quit,
@@ -315,10 +318,25 @@ class CommandInterpreter:
         return f"saved {len(rules)} rules to {argument}"
 
     def _cmd_check(self, __: str) -> str:
+        lines = []
+        report = self.testbed.lint()
+        findings = [
+            d for d in report if d.severity.rank <= Severity.WARNING.rank
+        ]
+        if findings:
+            count = len(findings)
+            lines.append(f"lint: {count} finding{'s' if count != 1 else ''}")
+            lines.extend(f"  {d}" for d in findings)
         violations = self.testbed.check_consistency()
         if not violations:
-            return "consistent (no constraint violations)"
-        return "\n".join(f"  {v.describe()}" for v in violations)
+            lines.append("consistent (no constraint violations)")
+        else:
+            lines.extend(f"  {v.describe()}" for v in violations)
+        return "\n".join(lines)
+
+    def _cmd_lint(self, argument: str) -> str:
+        report = self.testbed.lint(argument or None)
+        return report.render()
 
     def _cmd_timing(self, argument: str) -> str:
         if argument.lower() in ("on", "off"):

@@ -1,0 +1,133 @@
+"""Unit tests for ``python -m repro lint``."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+def run_cli(*argv):
+    output = io.StringIO()
+    code = main(list(argv), output=output)
+    return code, output.getvalue()
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.dkb"
+    path.write_text(
+        "parent(a, b).\n"
+        "anc(X, Y) :- parent(X, Y).\n"
+        "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.dkb"
+    path.write_text("parent(a, b).\nbad(X, Y) :- parent(X, Z).\n")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file):
+        code, output = run_cli(clean_file)
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_errors_exit_nonzero(self, broken_file):
+        code, output = run_cli(broken_file)
+        assert code == 1
+        assert "DK001" in output
+
+    def test_warnings_pass_without_werror(self, clean_file):
+        # the dead-rule warning alone must not fail the run
+        code, output = run_cli(clean_file, "--query", "?- parent('a', X).")
+        assert code == 0
+        assert "DK005" in output
+
+    def test_werror_fails_on_warnings(self, clean_file):
+        code, __ = run_cli(
+            clean_file, "--query", "?- parent('a', X).", "--werror"
+        )
+        assert code == 1
+
+    def test_nothing_to_lint_is_usage_error(self):
+        assert main([], output=io.StringIO()) == 2
+
+    def test_missing_file_exits_two(self):
+        code, output = run_cli("/no/such/file.dkb")
+        assert code == 2
+        assert "error:" in output
+
+    def test_unparsable_file_exits_two(self, tmp_path):
+        path = tmp_path / "garbage.dkb"
+        path.write_text("this is not a horn clause")
+        code, __ = run_cli(str(path))
+        assert code == 2
+
+    def test_bad_types_entry_exits_two(self, clean_file):
+        assert run_cli(clean_file, "--types", "nonsense")[0] == 2
+
+    def test_bad_rulegen_exits_two(self):
+        assert run_cli("--rulegen", "abc")[0] == 2
+
+
+class TestOptions:
+    def test_types_declares_base_relations(self, tmp_path):
+        path = tmp_path / "typed.dkb"
+        path.write_text("p(X) :- q(X).\n")
+        code_without, output_without = run_cli(str(path))
+        assert code_without == 1
+        assert "DK004" in output_without
+        code_with, __ = run_cli(str(path), "--types", "q:TEXT")
+        assert code_with == 0
+
+    def test_severity_filters_display_not_verdict(self, clean_file):
+        code, output = run_cli(
+            clean_file,
+            "--query",
+            "?- parent('a', X).",
+            "--severity",
+            "error",
+        )
+        assert code == 0
+        assert "DK005" not in output  # filtered from display
+        assert "warning" in output  # still counted in the summary
+
+    def test_rulegen_lints_synthetic_rule_base(self):
+        code, output = run_cli("--rulegen", "12,3")
+        assert code == 0
+        assert "rulegen(12,3)" in output
+
+    def test_multiple_files_all_reported(self, clean_file, broken_file):
+        code, output = run_cli(clean_file, broken_file)
+        assert code == 1
+        assert output.count("==") >= 4  # two banner lines
+
+
+class TestModuleEntry:
+    def test_python_dash_m_repro_lint(self, tmp_path):
+        path = tmp_path / "bad.dkb"
+        path.write_text("bad(X, Y) :- e(X).\ne(a).\n")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 1
+        assert "DK001" in completed.stdout
+
+    def test_python_dash_m_repro_lint_clean(self, tmp_path):
+        path = tmp_path / "ok.dkb"
+        path.write_text("p(X) :- e(X).\ne(a).\n")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0

@@ -1,0 +1,117 @@
+"""Unit tests for Diagnostic, Severity, and DiagnosticReport."""
+
+from repro.analysis import CATALOG, Diagnostic, DiagnosticReport, Severity
+from repro.analysis import codes
+from repro.datalog.parser import parse_program
+
+
+def diag(code=codes.UNSAFE_RULE, severity=Severity.ERROR, **kwargs):
+    return Diagnostic(code, severity, "message", **kwargs)
+
+
+class TestSeverity:
+    def test_rank_orders_error_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_str_is_the_value(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_str_has_code_severity_and_message(self):
+        text = str(diag())
+        assert text.startswith("DK001 error")
+        assert "message" in text
+
+    def test_locus_combines_predicate_and_rule_index(self):
+        d = diag(predicate="anc", clause_index=2)
+        assert d.locus == "anc, rule #2"
+        assert "[anc, rule #2]" in str(d)
+
+    def test_locus_empty_for_global_findings(self):
+        assert diag().locus == ""
+        assert "[" not in str(diag())
+
+    def test_hint_rendered_when_present(self):
+        assert "(hint: fix it)" in str(diag(hint="fix it"))
+        assert "hint" not in str(diag())
+
+    def test_clause_locus(self):
+        clause = parse_program("p(X) :- q(X).").rules[0]
+        d = diag(predicate="p", clause=clause, clause_index=0)
+        assert d.clause is clause
+
+
+class TestDiagnosticReport:
+    def make_report(self):
+        return DiagnosticReport(
+            (
+                diag(codes.UNSAFE_RULE, Severity.ERROR),
+                diag(codes.DEAD_RULE, Severity.WARNING),
+                diag(codes.DEAD_RULE, Severity.WARNING),
+                diag(codes.UNREFERENCED_PREDICATE, Severity.INFO),
+            ),
+            ("safety", "reachability"),
+        )
+
+    def test_iteration_and_len(self):
+        report = self.make_report()
+        assert len(report) == 4
+        assert len(list(report)) == 4
+
+    def test_severity_buckets(self):
+        report = self.make_report()
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 2
+        assert len(report.infos) == 1
+        assert report.has_errors
+
+    def test_by_code_and_code_set(self):
+        report = self.make_report()
+        assert len(report.by_code(codes.DEAD_RULE)) == 2
+        assert report.code_set() == {
+            codes.UNSAFE_RULE,
+            codes.DEAD_RULE,
+            codes.UNREFERENCED_PREDICATE,
+        }
+        assert report.codes() == ("DK001", "DK005", "DK005", "DK007")
+
+    def test_counts(self):
+        assert self.make_report().counts() == {
+            "error": 1,
+            "warning": 2,
+            "info": 1,
+        }
+
+    def test_render_filters_by_severity(self):
+        report = self.make_report()
+        full = report.render()
+        assert full.count("DK005") == 2
+        errors_only = report.render(Severity.ERROR)
+        assert "DK005" not in errors_only
+        assert "DK001" in errors_only
+        # the summary line counts everything regardless of the filter
+        assert "1 error, 2 warnings, 1 info" in errors_only
+
+    def test_empty_report_renders_summary_only(self):
+        report = DiagnosticReport()
+        assert not report.has_errors
+        assert report.render() == "0 errors, 0 warnings, 0 infos"
+
+    def test_passes_run_does_not_affect_equality(self):
+        a = DiagnosticReport((diag(),), ("safety",))
+        b = DiagnosticReport((diag(),), ("safety", "types"))
+        assert a == b
+
+
+class TestCatalog:
+    def test_every_code_has_severity_and_meaning(self):
+        for code, (severity, meaning) in CATALOG.items():
+            assert code.startswith("DK") and len(code) == 5
+            assert isinstance(severity, Severity)
+            assert meaning
+
+    def test_catalog_is_dense(self):
+        # Codes are DK000..DK0xx with no gaps, so docs can enumerate them.
+        numbers = sorted(int(code[2:]) for code in CATALOG)
+        assert numbers == list(range(len(numbers)))

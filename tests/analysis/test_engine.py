@@ -1,0 +1,136 @@
+"""Unit tests for the analysis driver: config, registry, collect-all."""
+
+import pytest
+
+from repro.analysis import (
+    SEMANTIC_PASSES,
+    AnalysisConfig,
+    analysis_pass,
+    analyze,
+    codes,
+    registered_passes,
+)
+from repro.datalog.parser import parse_program, parse_query
+
+TYPES = {"parent": ("TEXT", "TEXT"), "salary": ("TEXT", "INTEGER")}
+
+SEEDED = """
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+bad(X, Y) :- parent(X, Z).
+rich(X) :- parent(X, Y), salary(X, Y).
+dead(X) :- parent(X, X).
+"""
+
+
+class TestRegistry:
+    def test_builtin_passes_registered_in_check_order(self):
+        names = registered_passes()
+        assert names[:4] == SEMANTIC_PASSES
+        assert set(names) >= {
+            "reachability",
+            "redundancy",
+            "adornment",
+            "plan",
+        }
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            analysis_pass("safety")(lambda ctx: [])
+
+
+class TestConfig:
+    def test_default_selects_every_pass(self):
+        assert AnalysisConfig().selected() == registered_passes()
+
+    def test_explicit_selection_preserves_order(self):
+        config = AnalysisConfig(passes=("types", "safety"))
+        assert config.selected() == ("types", "safety")
+
+    def test_disabled_removes_from_selection(self):
+        config = AnalysisConfig(disabled=frozenset({"plan", "adornment"}))
+        selected = config.selected()
+        assert "plan" not in selected
+        assert "adornment" not in selected
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis passes"):
+            analyze(
+                parse_program("p(a)."),
+                config=AnalysisConfig(passes=("nonsense",)),
+            )
+
+
+class TestAnalyze:
+    def test_collects_all_three_seeded_problems_in_one_run(self):
+        # The acceptance scenario: one unsafe rule, one type conflict, one
+        # dead rule — a single analyze() reports all three, distinct codes.
+        report = analyze(
+            parse_program(SEEDED),
+            parse_query("?- anc('a', X)."),
+            base_types=TYPES,
+        )
+        found = report.code_set()
+        assert codes.UNSAFE_RULE in found
+        assert codes.TYPE_CONFLICT in found
+        assert codes.DEAD_RULE in found
+
+    def test_never_raises_on_bad_programs(self):
+        report = analyze(parse_program(SEEDED), base_types=TYPES)
+        assert report.has_errors  # collected, not raised
+
+    def test_passes_run_recorded(self):
+        report = analyze(
+            parse_program("p(X) :- parent(X, X)."),
+            base_types=TYPES,
+            config=AnalysisConfig(passes=("safety", "types")),
+        )
+        assert report.passes_run == ("safety", "types")
+        assert len(report) == 0
+
+    def test_max_diagnostics_truncates(self):
+        config = AnalysisConfig(max_diagnostics=2)
+        report = analyze(
+            parse_program(SEEDED),
+            parse_query("?- anc('a', X)."),
+            base_types=TYPES,
+            config=config,
+        )
+        assert len(report) == 2
+
+    def test_clean_program_clean_report(self):
+        report = analyze(
+            parse_program("path(X, Y) :- parent(X, Y)."),
+            parse_query("?- path('a', X)."),
+            base_types=TYPES,
+        )
+        assert len(report) == 0
+
+    def test_catalog_supplies_base_types(self, testbed):
+        testbed.define_base_relation("parent", ("TEXT", "TEXT"))
+        report = analyze(
+            parse_program("bad(X, Y) :- parent(X, Z)."),
+            catalog=testbed.catalog,
+        )
+        assert codes.UNSAFE_RULE in report.code_set()
+        # 'parent' came from the catalog, so it is not undefined.
+        assert codes.UNDEFINED_PREDICATE not in report.code_set()
+
+    def test_internal_pass_failure_becomes_dk000(self):
+        from repro.analysis.engine import _REGISTRY
+        from repro.errors import TestbedError
+
+        def exploding(ctx):
+            raise TestbedError("boom")
+
+        _REGISTRY["_exploding"] = exploding
+        try:
+            report = analyze(
+                parse_program("p(X) :- parent(X, X)."),
+                base_types=TYPES,
+                config=AnalysisConfig(passes=("_exploding",)),
+            )
+        finally:
+            del _REGISTRY["_exploding"]
+        assert report.codes() == (codes.INTERNAL_ERROR,)
+        assert "boom" in report.diagnostics[0].message

@@ -1,6 +1,5 @@
 """Unit tests for the evaluation graph and evaluation order list."""
 
-import pytest
 
 from repro.datalog.evalgraph import (
     PredicateNode,
@@ -9,8 +8,8 @@ from repro.datalog.evalgraph import (
     evaluation_order_list,
     relevant_rules,
 )
-from repro.datalog.parser import parse_program
 from repro.datalog.pcg import Clique
+from repro.datalog.parser import parse_program
 
 FIGURE_1 = """
 p(X, Y) :- p1(X, Z), q(Z, Y).

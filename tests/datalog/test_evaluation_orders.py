@@ -48,7 +48,9 @@ class TestEnumeration:
     def test_default_order_is_among_them(self):
         graph = build_evaluation_graph(FIGURE_4)
         default = evaluation_order(graph)
-        names = lambda order: [tuple(sorted(n.predicates)) for n in order]
+        def names(order):
+            return [tuple(sorted(n.predicates)) for n in order]
+
         assert names(default) in [
             names(order) for order in all_evaluation_orders(graph)
         ]

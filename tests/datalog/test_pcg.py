@@ -8,7 +8,6 @@ import pytest
 
 from repro.datalog.parser import parse_program
 from repro.datalog.pcg import (
-    Clique,
     PredicateConnectionGraph,
     clique_of,
     find_cliques,

@@ -74,3 +74,23 @@ class TestProgramCheck:
 
     def test_check_program_passes_safe(self):
         check_program(parse_program("p(X) :- q(X)."))
+
+
+class TestViolationLocus:
+    def test_describe_names_head_predicate_and_rule_index(self):
+        program = parse_program(
+            "ok(X) :- q(X). p(X, Y) :- q(X). r(X) :- not s(X)."
+        )
+        found = violations(program)
+        assert [v.index for v in found] == [1, 2]
+        first = found[0].describe()
+        assert "defining 'p'" in first
+        assert "(rule #1)" in first
+        assert "unsafe" in first
+
+    def test_locus_without_index(self):
+        violation = check_clause(parse_clause("p(X, Y) :- q(X)."))
+        assert violation is not None
+        assert violation.index is None
+        assert violation.locus == "rule defining 'p'"
+        assert "#" not in violation.locus

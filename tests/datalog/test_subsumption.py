@@ -1,6 +1,5 @@
 """Unit tests for clause subsumption and rule-base simplification."""
 
-import pytest
 
 from repro.datalog.parser import parse_clause, parse_program
 from repro.datalog.subsumption import (

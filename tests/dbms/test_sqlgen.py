@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datalog.parser import parse_clause
-from repro.dbms.engine import Database
 from repro.dbms.schema import RelationSchema
 from repro.dbms.sqlgen import (
     compile_rule_body,

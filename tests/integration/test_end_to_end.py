@@ -14,8 +14,6 @@ from repro.workloads.relations import (
     lists,
     random_cyclic_graph,
     random_dag,
-    iter_descendants,
-    tree_node,
 )
 
 

@@ -95,7 +95,6 @@ class TestReorderOption:
             """
         )
         result = testbed._compiler.compile("?- v(X).", reorder_bodies=True)
-        rule = next(iter(result.program.order)).rules[0]
         # No constants here, but sel shares X with... both share X; the
         # greedy pass keeps a deterministic, valid order and answers match.
         plain = testbed.query("?- v(X).").rows

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro import Testbed
-
 
 @pytest.fixture
 def tb(testbed):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import LfpStrategy, Testbed
+from repro import LfpStrategy
 from repro.errors import TypeInferenceError
 
 

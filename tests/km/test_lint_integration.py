@@ -1,0 +1,114 @@
+"""Integration tests: the analyzer wired through compile, update, session."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, codes
+from repro.errors import UpdateError
+
+ANCESTOR = (
+    "anc(X, Y) :- parent(X, Y)."
+    "anc(X, Y) :- parent(X, Z), anc(Z, Y)."
+)
+
+
+@pytest.fixture
+def session(testbed):
+    testbed.define_base_relation("parent", ("TEXT", "TEXT"))
+    testbed.load_facts("parent", [("a", "b"), ("b", "c")])
+    testbed.define(ANCESTOR)
+    return testbed
+
+
+class TestCompileLint:
+    def test_diagnostics_attached_and_timed(self, session):
+        result = session.compile_query("?- anc('a', X).", lint=True)
+        assert result.diagnostics is not None
+        assert result.timings.lint > 0
+        assert result.timings.as_dict()["lint"] == result.timings.lint
+
+    def test_lint_off_by_default(self, session):
+        result = session.compile_query("?- anc('a', X).")
+        assert result.diagnostics is None
+        assert result.timings.lint == 0.0
+
+    def test_lint_phase_recorded_in_statistics(self, session):
+        session.compile_query("?- anc('a', X).", lint=True)
+        phases = session.database.statistics.phases()
+        assert "lint" in phases
+        assert phases["lint"].seconds > 0
+
+    def test_lint_does_not_change_answers(self, session):
+        plain = session.query("?- anc('a', X).")
+        session.compile_query("?- anc('a', X).", lint=True)
+        again = session.query("?- anc('a', X).")
+        assert sorted(plain.rows) == sorted(again.rows)
+
+    def test_findings_over_relevant_rules(self, session):
+        session.define("anc(A, B) :- parent(A, B), parent(A, C).")
+        result = session.compile_query("?- anc('a', X).", lint=True)
+        assert codes.REDUNDANT_RULE in result.diagnostics.code_set()
+
+
+class TestUpdateVetting:
+    def test_clean_update_accepted_and_timed(self, session):
+        result = session.update_stored_dkb(lint=True)
+        assert len(result.new_rules) == 2
+        assert result.timings.lint > 0
+        assert result.timings.as_dict()["lint"] == result.timings.lint
+
+    def test_unsafe_rules_rejected(self, testbed):
+        testbed.define_base_relation("e", ("TEXT",))
+        testbed.define("bad(X, Y) :- e(X).")
+        with pytest.raises(UpdateError, match="static analysis"):
+            testbed.update_stored_dkb(lint=True)
+        assert testbed.stored_rule_count == 0
+
+    def test_unstratifiable_rules_rejected(self, testbed):
+        testbed.define_base_relation("e", ("TEXT",))
+        testbed.define("p(X) :- e(X), not q(X). q(X) :- e(X), not p(X).")
+        with pytest.raises(UpdateError, match="DK002"):
+            testbed.update_stored_dkb(lint=True)
+
+    def test_forward_references_still_allowed(self, testbed):
+        # the session model permits storing rules over predicates defined
+        # by a later update; vetting must not break that
+        testbed.define("top(X) :- middle(X).")
+        result = testbed.update_stored_dkb(lint=True)
+        assert len(result.new_rules) == 1
+
+    def test_without_lint_unsafe_rules_pass_through(self, testbed):
+        # historical behaviour unchanged: type checking alone does not
+        # reject an unsafe rule
+        testbed.define_base_relation("e", ("TEXT",))
+        testbed.define("bad(X, Y) :- e(X).")
+        result = testbed.update_stored_dkb()
+        assert len(result.new_rules) == 1
+
+
+class TestTestbedLint:
+    def test_covers_workspace_and_stored_rules(self, session):
+        session.update_stored_dkb()
+        session.define("anc(A, B) :- parent(A, B), parent(A, C).")
+        report = session.lint()
+        assert codes.REDUNDANT_RULE in report.code_set()
+
+    def test_never_raises_on_errors(self, session):
+        session.define("bad(X, Y) :- parent(X, Z).")
+        report = session.lint()
+        assert report.has_errors
+        assert codes.UNSAFE_RULE in report.code_set()
+
+    def test_query_context_enables_reachability(self, session):
+        session.define("dead(X) :- parent(X, X).")
+        report = session.lint("?- anc('a', X).")
+        assert codes.DEAD_RULE in report.code_set()
+        assert codes.DEAD_RULE not in session.lint().code_set()
+
+    def test_config_selects_passes(self, session):
+        report = session.lint(config=AnalysisConfig(passes=("safety",)))
+        assert report.passes_run == ("safety",)
+
+    def test_base_types_come_from_catalog(self, session):
+        # 'parent' exists only in the extensional catalog; with the types
+        # wired through, the clean session has no definedness errors
+        assert not session.lint().has_errors

@@ -6,7 +6,7 @@ from repro.km.session import Testbed
 from repro.runtime.program import LfpStrategy
 from repro.errors import CatalogError, SemanticError
 
-from ..conftest import FAMILY_FACTS, family_descendants
+from ..conftest import family_descendants
 
 
 class TestDefine:

@@ -79,7 +79,14 @@ class TestUpdate:
         result = tb.update_stored_dkb()
         timings = result.timings.as_dict()
         assert timings["total"] > 0
-        assert set(timings) == {"extract", "closure", "typecheck", "store", "total"}
+        assert set(timings) == {
+            "extract",
+            "closure",
+            "typecheck",
+            "lint",
+            "store",
+            "total",
+        }
 
     def test_queryable_after_update(self, tb):
         tb.workspace.define(

@@ -1,0 +1,80 @@
+"""Property tests: the analyzer is total and order-insensitive.
+
+Whatever rule base the synthetic generator produces — any size, any
+relevant-subset split, optionally mutilated by dropping rules so predicates
+go undefined — ``analyze`` must return a report, never raise.  And the
+*set* of distinct codes it reports must not depend on the order the clauses
+are listed in: lint verdicts that change when rules are shuffled would make
+the CI gate flaky by construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze
+from repro.datalog.clauses import Program
+from repro.datalog.parser import parse_query
+from repro.workloads.rulegen import make_rule_base
+
+rule_base_shapes = st.tuples(
+    st.integers(min_value=1, max_value=40),  # total rules R_s
+    st.integers(min_value=1, max_value=40),  # relevant rules R_rs
+).filter(lambda shape: shape[1] <= shape[0])
+
+
+def generated(total, relevant):
+    rule_base = make_rule_base(total, relevant)
+    base_types = {
+        name: ("TEXT", "TEXT") for name in rule_base.base_predicates
+    }
+    return rule_base, base_types
+
+
+@settings(max_examples=30, deadline=None)
+@given(rule_base_shapes)
+def test_analyze_never_crashes_on_generated_rule_bases(shape):
+    rule_base, base_types = generated(*shape)
+    report = analyze(
+        rule_base.program,
+        parse_query(rule_base.query_text()),
+        base_types=base_types,
+    )
+    # generated rule bases are well-formed: no error-level findings
+    assert not report.has_errors
+    assert report.passes_run
+
+
+@settings(max_examples=30, deadline=None)
+@given(rule_base_shapes, st.randoms(use_true_random=False))
+def test_reported_codes_are_clause_order_insensitive(shape, rng):
+    rule_base, base_types = generated(*shape)
+    query = parse_query(rule_base.query_text())
+    baseline = analyze(rule_base.program, query, base_types=base_types)
+
+    shuffled = list(rule_base.program)
+    rng.shuffle(shuffled)
+    permuted = analyze(Program(shuffled), query, base_types=base_types)
+
+    assert permuted.code_set() == baseline.code_set()
+    assert permuted.counts() == baseline.counts()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rule_base_shapes,
+    st.randoms(use_true_random=False),
+    st.integers(min_value=1, max_value=5),
+)
+def test_analyze_never_crashes_on_mutilated_rule_bases(shape, rng, drops):
+    # dropping random rules leaves dangling references (undefined
+    # predicates, broken chains); the analyzer must still just report
+    rule_base, base_types = generated(*shape)
+    clauses = list(rule_base.program)
+    for __ in range(min(drops, len(clauses) - 1)):
+        clauses.pop(rng.randrange(len(clauses)))
+    report = analyze(
+        Program(clauses),
+        parse_query(rule_base.query_text()),
+        base_types=base_types,
+    )
+    assert report.counts()["error"] == len(report.errors)

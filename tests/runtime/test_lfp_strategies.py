@@ -114,7 +114,6 @@ class TestPhaseAttribution:
         context = make_context(database, edges)
         database.statistics.reset()
         evaluate_clique_naive(context, clique)
-        naive_rows = database.statistics.phase(PHASE_RHS_EVAL).rows_fetched
         naive_stmts = database.statistics.phase(PHASE_RHS_EVAL).statements
 
         from repro.dbms.engine import Database

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.km.session import Testbed
 from repro.ui.commands import CommandInterpreter
 
 

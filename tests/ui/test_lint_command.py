@@ -1,0 +1,72 @@
+"""Unit tests for the :lint command and the analyzer-backed :check."""
+
+import pytest
+
+from repro.ui.commands import HELP_TEXT, CommandInterpreter
+
+
+@pytest.fixture
+def interpreter(testbed):
+    return CommandInterpreter(testbed)
+
+
+class TestLintCommand:
+    def test_clean_rule_base(self, interpreter):
+        interpreter.execute("e(a).")
+        interpreter.execute("p(X) :- e(X).")
+        response = interpreter.execute(":lint")
+        assert "0 errors" in response
+
+    def test_reports_all_findings_with_codes(self, interpreter):
+        interpreter.execute("parent(a, b).")
+        interpreter.execute("bad(X, Y) :- parent(X, Z).")
+        interpreter.execute("anc(X, Y) :- parent(X, Y).")
+        interpreter.execute("anc(A, B) :- parent(A, B).")
+        response = interpreter.execute(":lint")
+        assert "DK001" in response  # unsafe
+        assert "DK006" in response  # duplicate
+        assert "1 error" in response
+
+    def test_query_argument_enables_reachability(self, interpreter):
+        interpreter.execute("parent(a, b).")
+        interpreter.execute("anc(X, Y) :- parent(X, Y).")
+        interpreter.execute("dead(X) :- parent(X, X).")
+        response = interpreter.execute(":lint ?- anc(a, X).")
+        assert "DK005" in response
+        assert "DK005" not in interpreter.execute(":lint")
+
+    def test_covers_stored_rules(self, interpreter):
+        interpreter.execute("parent(a, b).")
+        interpreter.execute("anc(X, Y) :- parent(X, Y).")
+        interpreter.execute(":update")
+        interpreter.execute("anc(A, B) :- parent(A, B).")
+        assert "DK006" in interpreter.execute(":lint")
+
+    def test_listed_in_help(self, interpreter):
+        assert ":lint" in HELP_TEXT
+        assert ":lint" in interpreter.execute(":help")
+
+
+class TestCheckWithLint:
+    def test_lint_findings_shown_before_verdict(self, interpreter):
+        interpreter.execute("parent(a, b).")
+        interpreter.execute("bad(X, Y) :- parent(X, Z).")
+        response = interpreter.execute(":check")
+        assert "lint:" in response
+        assert "DK001" in response
+        assert "consistent" in response
+
+    def test_info_findings_do_not_clutter_check(self, interpreter):
+        # an unreferenced derived predicate is info-severity; :check stays
+        # quiet about it
+        interpreter.execute("parent(a, b).")
+        interpreter.execute("anc(X, Y) :- parent(X, Y).")
+        response = interpreter.execute(":check")
+        assert response == "consistent (no constraint violations)"
+
+    def test_constraint_violations_still_listed(self, interpreter):
+        interpreter.execute("p(a, a).")
+        interpreter.execute("inconsistent(X) :- p(X, X).")
+        response = interpreter.execute(":check")
+        assert "violated" in response
+        assert "('a',)" in response

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import os
 
-from repro.bench import format_fastpath, run_fastpath_ab, write_bench_json
+from repro.bench import (
+    format_fastpath,
+    run_fastpath_ab,
+    write_bench_json,
+    write_trace_json,
+)
 
 DEPTH = 9
 # Quick mode (CI smoke): fewer levels and repetitions, relaxed assertions —
@@ -25,6 +30,28 @@ DEPTH = 9
 QUICK = bool(os.environ.get("BENCH_QUICK"))
 LEVELS = (1, 4) if QUICK else (1, 2, 4, 6, 8)
 REPETITIONS = 1 if QUICK else 5
+
+
+def _trace_ancestor_query():
+    """One traced fig-12 ancestor query; returns the detached tracer.
+
+    The resulting span tree (compile phases, one span per LFP iteration
+    with delta cardinalities, captured query plans) ships with the bench
+    reports as a CI artifact.
+    """
+    from repro import Testbed, TestbedConfig
+    from repro.workloads.queries import (
+        ANCESTOR_RULES,
+        ancestor_query,
+        load_parent_relation,
+    )
+    from repro.workloads.relations import full_binary_trees, tree_node
+
+    with Testbed(TestbedConfig(trace=True)) as testbed:
+        testbed.define(ANCESTOR_RULES)
+        load_parent_relation(testbed, full_binary_trees(1, 5 if QUICK else DEPTH))
+        testbed.query(ancestor_query(tree_node("t", 1)))
+        return testbed.tracer
 
 
 def test_fastpath_ab_speedup(run_once):
@@ -40,6 +67,13 @@ def test_fastpath_ab_speedup(run_once):
             points,
             depth=DEPTH,
             repetitions=REPETITIONS,
+            quick=QUICK,
+        )
+        write_trace_json(
+            os.path.join(report_dir, "TRACE_fastpath.json"),
+            _trace_ancestor_query(),
+            "fastpath_ancestor_trace",
+            depth=DEPTH,
             quick=QUICK,
         )
 

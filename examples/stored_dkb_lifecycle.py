@@ -12,7 +12,7 @@ Run:  python examples/stored_dkb_lifecycle.py
 import os
 import tempfile
 
-from repro import Testbed
+from repro import Testbed, TestbedConfig
 from repro.workloads.rulegen import make_rule_base
 
 
@@ -59,7 +59,7 @@ def main() -> None:
                   f"of {tb.stored_rule_count}")
 
         print("same workload, source-only rule storage (no reachablepreds):")
-        with Testbed(compiled_rule_storage=False) as tb:
+        with Testbed(TestbedConfig(compiled_rule_storage=False)) as tb:
             query = populate(tb)
             result = tb.query(query)
             print(f"  compile-time extraction now chases reachability: "

@@ -52,8 +52,15 @@ from .errors import (
     UpdateError,
     WorkloadError,
 )
-from .km import QueryResult, Testbed
+from .km import QueryResult, Testbed, TestbedConfig
 from .maintenance import MaintenancePolicy, MaintenanceResult
+from .obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    render_span_tree,
+    write_chrome_trace,
+)
 from .runtime import FastPathConfig, LfpStrategy
 
 __version__ = "1.0.0"
@@ -69,6 +76,7 @@ __all__ = [
     "LfpStrategy",
     "MaintenancePolicy",
     "MaintenanceResult",
+    "MetricsRegistry",
     "OptimizationError",
     "ParseError",
     "Program",
@@ -76,8 +84,11 @@ __all__ = [
     "QueryResult",
     "SafetyError",
     "SemanticError",
+    "Span",
     "Testbed",
+    "TestbedConfig",
     "TestbedError",
+    "Tracer",
     "TypeInferenceError",
     "UndefinedPredicateError",
     "UpdateError",
@@ -87,4 +98,6 @@ __all__ = [
     "parse_clause",
     "parse_program",
     "parse_query",
+    "render_span_tree",
+    "write_chrome_trace",
 ]

@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``python -m repro lint ...`` — the rule-base static analyzer
-  (:mod:`repro.analysis.cli`); everything else goes to the REPL.
+  (:mod:`repro.analysis.cli`);
+* ``python -m repro trace ...`` — trace one query and export a Chrome
+  trace (:mod:`repro.obs.cli`); everything else goes to the REPL.
 """
 
 import sys
@@ -15,6 +17,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "trace":
+        from .obs.cli import main as trace_main
+
+        return trace_main(arguments[1:])
     from .ui.repl import main as repl_main
 
     return repl_main(arguments)

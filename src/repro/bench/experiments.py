@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dbms.engine import PhaseStats
+from ..km.config import TestbedConfig
 from ..km.session import Testbed
 from ..runtime.context import (
     PHASE_RHS_EVAL,
@@ -53,7 +54,7 @@ def _testbed_with_rule_base(
     total_rules: int, relevant_rules: int, compiled: bool = True
 ) -> tuple[Testbed, object]:
     rule_base = make_rule_base(total_rules, relevant_rules)
-    testbed = Testbed(compiled_rule_storage=compiled)
+    testbed = Testbed(TestbedConfig(compiled_rule_storage=compiled))
     for base in rule_base.base_predicates:
         testbed.define_base_relation(base, ("TEXT", "TEXT"))
     testbed.workspace.add_clauses(rule_base.program.rules)

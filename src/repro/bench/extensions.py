@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..km.config import TestbedConfig
 from ..km.session import Testbed
 from ..runtime.counting import evaluate_counting, recognize_counting_form
 from ..datalog.parser import parse_program
@@ -420,7 +421,9 @@ def run_fastpath_ab(
         for mode in ("slow", "fast"):
             fast = mode == "fast"
             testbed = Testbed(
-                statement_cache_size=DEFAULT_STATEMENT_CACHE_SIZE if fast else 0
+                TestbedConfig(
+                    statement_cache_size=DEFAULT_STATEMENT_CACHE_SIZE if fast else 0
+                )
             )
             testbed.define(ANCESTOR_RULES)
             load_parent_relation(testbed, relation)

@@ -426,3 +426,15 @@ def write_bench_json(path: str, name: str, rows: Iterable[object], **meta) -> st
         json.dump(payload, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")
     return path
+
+
+def write_trace_json(path: str, tracer, name: str, **meta) -> str:
+    """Dump a tracer's span tree as a Chrome trace beside the bench reports.
+
+    ``tracer`` is a :class:`repro.obs.Tracer`; the written file loads in
+    ``chrome://tracing`` / Perfetto and in ``json.loads``.  Returns the path
+    written.
+    """
+    from ..obs.export import write_chrome_trace
+
+    return write_chrome_trace(path, tracer, metadata={"name": name, **meta})

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
 from ..errors import EvaluationError
+from ..obs.trace import StatementRecord, Tracer
 from .schema import RelationSchema, quote_identifier
 
 _STATEMENT_KIND_RE = re.compile(r"\s*([A-Za-z]+)")
@@ -217,6 +218,22 @@ class Statistics:
                 StatementEvent(self.current_phase, kind, seconds)
             )
 
+    def on_statement(self, record: StatementRecord) -> None:
+        """Sink adapter over the observability event stream.
+
+        :meth:`Database.execute` feeds Statistics directly through
+        :meth:`record` on the hot path; this adapter formalises that
+        Statistics is just another sink over the same per-statement events
+        the :class:`~repro.obs.Tracer` consumes.
+        """
+        self.record(
+            record.kind,
+            record.seconds,
+            record.rows_fetched,
+            record.rows_changed,
+            record.cache_hit,
+        )
+
     def record_span(self, phase: str, seconds: float) -> None:
         """Attribute non-statement wall time to ``phase``.
 
@@ -273,6 +290,19 @@ class Database:
             StatementCache(statement_cache_size) if statement_cache_size else None
         )
         self._in_explicit_transaction = False
+        # Optional observability sink (see repro.obs).  ``None`` when tracing
+        # is disabled — the hot path then pays one attribute test and nothing
+        # else, so paper-faithful timings are untouched.
+        self._tracer: Tracer | None = None
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The installed observability sink, if any."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Install (or remove, with ``None``) the observability sink."""
+        self._tracer = tracer
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -320,6 +350,20 @@ class Database:
         elapsed = time.perf_counter() - started
         changed = cursor.rowcount if cursor.rowcount > 0 else 0
         self.statistics.record(kind, elapsed, len(rows), changed, cache_hit)
+        if self._tracer is not None:
+            self._tracer.on_statement(
+                StatementRecord(
+                    phase=self.statistics.current_phase,
+                    sql=sql,
+                    kind=kind,
+                    seconds=elapsed,
+                    rows_fetched=len(rows),
+                    rows_changed=changed,
+                    cache_hit=cache_hit,
+                    parameters=tuple(parameters),
+                ),
+                self,
+            )
         return rows
 
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -344,6 +388,20 @@ class Database:
         # UPDATE matching nothing — must stay 0.
         changed = cursor.rowcount if cursor.rowcount >= 0 else len(rows)
         self.statistics.record(kind, elapsed, 0, changed, cache_hit)
+        if self._tracer is not None:
+            self._tracer.on_statement(
+                StatementRecord(
+                    phase=self.statistics.current_phase,
+                    sql=sql,
+                    kind=kind,
+                    seconds=elapsed,
+                    rows_fetched=0,
+                    rows_changed=changed,
+                    cache_hit=cache_hit,
+                    parameters=tuple(rows[0]) if rows else (),
+                ),
+                self,
+            )
         return changed
 
     def commit(self) -> None:
@@ -448,6 +506,17 @@ class Database:
         the same on-disk file never hand out colliding names.
         """
         return f"{prefix}_{next(_TEMP_NAME_COUNTER)}"
+
+    def observe(self, sql: str, parameters: Sequence[Any] = ()) -> list[tuple]:
+        """Uncounted read for the observability layer.
+
+        Runs on the raw connection, bypassing both the statement cache and
+        :class:`Statistics`, so the tracer can probe the database (EXPLAIN
+        plans, delta cardinalities) without perturbing the statement stream
+        the experiments measure.  Never use this for engine work.
+        """
+        cursor = self._connection.execute(sql, tuple(parameters))
+        return cursor.fetchall()
 
     def explain_plan(self, sql: str, parameters: Sequence[Any] = ()) -> list[str]:
         """The DBMS's access-path plan for ``sql`` (EXPLAIN QUERY PLAN).

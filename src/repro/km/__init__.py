@@ -10,6 +10,7 @@ facade users interact with.
 
 from .codegen import compile_and_link, generate_fragment, link_program
 from .compiler import CompilationResult, CompilationTimings, QueryCompiler
+from .config import TestbedConfig
 from .constraints import (
     RESERVED_PREDICATE,
     Violation,
@@ -45,6 +46,7 @@ __all__ = [
     "SemanticReport",
     "StoredDKB",
     "Testbed",
+    "TestbedConfig",
     "UpdateResult",
     "UpdateTimings",
     "WorkspaceDKB",

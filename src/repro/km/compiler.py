@@ -32,6 +32,8 @@ from ..datalog.evalgraph import build_evaluation_graph, evaluation_order
 from ..datalog.parser import parse_query
 from ..datalog.pcg import PredicateConnectionGraph
 from ..dbms.catalog import ExtensionalCatalog
+from ..obs.timings import TimingsMapping
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from ..runtime.program import LfpStrategy, QueryProgram
 from .codegen import compile_and_link, generate_fragment
 from .optimizer import optimization_applies, optimize
@@ -42,8 +44,12 @@ from .workspace import WorkspaceDKB
 
 
 @dataclass
-class CompilationTimings:
-    """Wall-clock seconds per compilation component."""
+class CompilationTimings(TimingsMapping):
+    """Wall-clock seconds per compilation component.
+
+    Also a read-only :class:`~collections.abc.Mapping` over the components
+    (iteration excludes ``total``, so ``sum(t.values()) == t.total``).
+    """
 
     setup: float = 0.0
     extract: float = 0.0
@@ -128,6 +134,7 @@ class QueryCompiler:
         strategy: LfpStrategy = LfpStrategy.SEMINAIVE,
         reorder_bodies: bool = False,
         lint: bool = False,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> CompilationResult:
         """Compile ``query`` into an executable program.
 
@@ -145,6 +152,8 @@ class QueryCompiler:
                 ``CompilationResult.diagnostics``; the time spent is the
                 ``lint`` timing component and a ``lint`` phase in the DBMS
                 statistics.
+            tracer: optional observability sink; every compilation
+                component becomes a child span of one ``compile`` span.
 
         Raises:
             SemanticError: from the semantic checks.
@@ -159,70 +168,95 @@ class QueryCompiler:
                 f"optimize_query must be a bool or one of {valid_strings}, "
                 f"got {optimize_query!r}"
             )
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("compile", category="compile") as compile_span:
+            result = self._compile(
+                query, optimize_query, strategy, reorder_bodies, lint, tracer
+            )
+            if tracer.enabled:
+                for key, value in result.counts.items():
+                    compile_span.set(key, value)
+                compile_span.set("optimized", result.optimized)
+        return result
+
+    def _compile(
+        self,
+        query: Union[Query, str],
+        optimize_query: Union[bool, str],
+        strategy: LfpStrategy,
+        reorder_bodies: bool,
+        lint: bool,
+        tracer: "Tracer | NullTracer",
+    ) -> CompilationResult:
         timings = CompilationTimings()
 
         # -- setup: parse the query, initial workspace reachability ----------
         started = time.perf_counter()
-        if isinstance(query, str):
-            query = parse_query(query)
-        goal_predicates = set(query.predicates)
-        workspace_rules = self.workspace.program.rules
-        pcg = PredicateConnectionGraph(workspace_rules)
-        relevant_predicates = set(goal_predicates)
-        relevant_predicates.update(pcg.reachable_from(*goal_predicates))
-        relevant = Program()
-        for clause in workspace_rules:
-            if clause.head_predicate in relevant_predicates:
-                relevant.add(clause)
+        with tracer.span("setup", category="compile"):
+            if isinstance(query, str):
+                query = parse_query(query)
+            goal_predicates = set(query.predicates)
+            workspace_rules = self.workspace.program.rules
+            pcg = PredicateConnectionGraph(workspace_rules)
+            relevant_predicates = set(goal_predicates)
+            relevant_predicates.update(pcg.reachable_from(*goal_predicates))
+            relevant = Program()
+            for clause in workspace_rules:
+                if clause.head_predicate in relevant_predicates:
+                    relevant.add(clause)
         timings.setup = time.perf_counter() - started
 
         # -- extract: workspace/stored fixpoint (steps 1.3-1.5) ---------------
         started = time.perf_counter()
-        stored_rule_count = 0
-        while True:
-            extracted = self.stored.extract_relevant_rules(relevant_predicates)
-            new_rules = [c for c in extracted if c not in relevant]
-            for clause in new_rules:
-                relevant.add(clause)
-            stored_rule_count += len(new_rules)
-            # Recompute reachability over the combined rules: stored rules
-            # may refer back to workspace predicates and vice versa.
-            combined = Program(list(relevant) + workspace_rules)
-            combined_pcg = PredicateConnectionGraph(combined.rules)
-            updated = set(goal_predicates)
-            updated.update(combined_pcg.reachable_from(*goal_predicates))
-            for clause in workspace_rules:
-                if clause.head_predicate in updated:
+        with tracer.span("extract", category="compile"):
+            stored_rule_count = 0
+            while True:
+                extracted = self.stored.extract_relevant_rules(relevant_predicates)
+                new_rules = [c for c in extracted if c not in relevant]
+                for clause in new_rules:
                     relevant.add(clause)
-            if updated == relevant_predicates and not new_rules:
-                break
-            relevant_predicates = updated
+                stored_rule_count += len(new_rules)
+                # Recompute reachability over the combined rules: stored rules
+                # may refer back to workspace predicates and vice versa.
+                combined = Program(list(relevant) + workspace_rules)
+                combined_pcg = PredicateConnectionGraph(combined.rules)
+                updated = set(goal_predicates)
+                updated.update(combined_pcg.reachable_from(*goal_predicates))
+                for clause in workspace_rules:
+                    if clause.head_predicate in updated:
+                        relevant.add(clause)
+                if updated == relevant_predicates and not new_rules:
+                    break
+                relevant_predicates = updated
         timings.extract = time.perf_counter() - started
 
         # -- readdict: extensional + intensional dictionaries ----------------
         started = time.perf_counter()
-        derived = relevant.derived_predicates
-        referenced = set(relevant_predicates) | goal_predicates
-        base_candidates = sorted(referenced - derived)
-        base_types = self.catalog.types_of(base_candidates)
-        dictionary_types = self.stored.derived_types_of(sorted(derived))
+        with tracer.span("readdict", category="compile"):
+            derived = relevant.derived_predicates
+            referenced = set(relevant_predicates) | goal_predicates
+            base_candidates = sorted(referenced - derived)
+            base_types = self.catalog.types_of(base_candidates)
+            dictionary_types = self.stored.derived_types_of(sorted(derived))
         timings.readdict = time.perf_counter() - started
 
         # -- semantic checks ---------------------------------------------------
         started = time.perf_counter()
-        report = check_semantics(relevant, query, base_types, dictionary_types)
+        with tracer.span("semantic", category="compile"):
+            report = check_semantics(relevant, query, base_types, dictionary_types)
         timings.semantic = time.perf_counter() - started
 
         # -- lint: full collect-all analysis (optional) ------------------------
         diagnostics: DiagnosticReport | None = None
         if lint:
             started = time.perf_counter()
-            diagnostics = analyze(
-                relevant,
-                query,
-                base_types=base_types,
-                dictionary_types=dictionary_types,
-            )
+            with tracer.span("lint", category="compile"):
+                diagnostics = analyze(
+                    relevant,
+                    query,
+                    base_types=base_types,
+                    dictionary_types=dictionary_types,
+                )
             timings.lint = time.perf_counter() - started
             self.stored.database.statistics.record_span("lint", timings.lint)
 
@@ -235,24 +269,25 @@ class QueryCompiler:
         optimized = False
         decision: AdaptiveDecision | None = None
         started = time.perf_counter()
-        method = "magic"
-        if optimize_query == "auto":
-            decision = self.policy.decide(
-                self.stored.database, self.catalog, relevant, query
-            )
-            apply_rewrite = decision.use_magic
-        elif optimize_query == "supplementary":
-            apply_rewrite = True
-            method = "supplementary"
-        else:
-            apply_rewrite = bool(optimize_query)
-        if apply_rewrite and optimization_applies(query, derived):
-            result = optimize(relevant, query, report.types, method)
-            rules_for_program = result.rules
-            goal_rewrites = result.goal_rewrites
-            seed_facts = result.seed_facts
-            types.update(result.new_types)
-            optimized = True
+        with tracer.span("optimize", category="compile"):
+            method = "magic"
+            if optimize_query == "auto":
+                decision = self.policy.decide(
+                    self.stored.database, self.catalog, relevant, query
+                )
+                apply_rewrite = decision.use_magic
+            elif optimize_query == "supplementary":
+                apply_rewrite = True
+                method = "supplementary"
+            else:
+                apply_rewrite = bool(optimize_query)
+            if apply_rewrite and optimization_applies(query, derived):
+                result = optimize(relevant, query, report.types, method)
+                rules_for_program = result.rules
+                goal_rewrites = result.goal_rewrites
+                seed_facts = result.seed_facts
+                types.update(result.new_types)
+                optimized = True
         if optimized or decision is not None:
             timings.optimize = time.perf_counter() - started
 
@@ -265,32 +300,34 @@ class QueryCompiler:
 
         # -- evaluation order list ---------------------------------------------
         started = time.perf_counter()
-        graph = build_evaluation_graph(rules_for_program)
-        order = evaluation_order(graph)
+        with tracer.span("eorder", category="compile"):
+            graph = build_evaluation_graph(rules_for_program)
+            order = evaluation_order(graph)
         timings.eorder = time.perf_counter() - started
 
         # -- code generation, compile, link -------------------------------------
         started = time.perf_counter()
-        base_predicates = frozenset(
-            p for p in referenced if p not in derived
-        ) | frozenset(
-            p
-            for clause in rules_for_program
-            for p in clause.body_predicates
-            if p not in rules_for_program.derived_predicates
-            and p not in seed_facts
-        )
-        source = generate_fragment(
-            query,
-            order,
-            types,
-            base_predicates,
-            strategy,
-            optimized,
-            goal_rewrites,
-            seed_facts,
-        )
-        program = compile_and_link(source)
+        with tracer.span("gencompile", category="compile"):
+            base_predicates = frozenset(
+                p for p in referenced if p not in derived
+            ) | frozenset(
+                p
+                for clause in rules_for_program
+                for p in clause.body_predicates
+                if p not in rules_for_program.derived_predicates
+                and p not in seed_facts
+            )
+            source = generate_fragment(
+                query,
+                order,
+                types,
+                base_predicates,
+                strategy,
+                optimized,
+                goal_rewrites,
+                seed_facts,
+            )
+            program = compile_and_link(source)
         timings.gencompile = time.perf_counter() - started
 
         counts = {

@@ -1,0 +1,61 @@
+"""Consolidated Testbed configuration.
+
+Every session knob lives in one frozen :class:`TestbedConfig` value instead
+of a growing pile of ``Testbed.__init__`` keywords.  The legacy keyword form
+(``Testbed(compiled_rule_storage=False, ...)``) still works but emits a
+:class:`DeprecationWarning`; new code writes::
+
+    from repro import Testbed, TestbedConfig
+
+    with Testbed(TestbedConfig(fastpath=FastPathConfig(), trace=True)) as tb:
+        ...
+
+``dataclasses.replace`` gives cheap variants of a base configuration, which
+the benchmark drivers use to sweep one knob at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE
+from ..maintenance.dred import MaintenancePolicy
+from ..runtime.context import FastPathConfig
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Everything a :class:`~repro.km.session.Testbed` can be told at birth.
+
+    Attributes:
+        path: SQLite database path (default: in-memory).
+        compiled_rule_storage: maintain ``reachablepreds`` (the compiled
+            rule form).  Turning this off reproduces the paper's
+            source-form-only configuration: updates get much faster, query
+            compilation slower.
+        fastpath: default fast-path configuration for query execution
+            (``None`` = the paper-faithful slow path; individual ``query``
+            calls can override it).
+        statement_cache_size: prepared-statement cache capacity of the
+            underlying :class:`~repro.dbms.engine.Database`; ``0`` disables
+            the cache.
+        maintenance_policy: the DRed-vs-refresh cost heuristic used for
+            delete maintenance of materialized views.
+        trace: start the session with structured tracing enabled (spans,
+            metrics, plan capture).  Off by default — tracing is designed to
+            be zero-cost when disabled, and enabling it here is equivalent
+            to calling :meth:`~repro.km.session.Testbed.enable_tracing`
+            right after construction.
+    """
+
+    # Not a test class, despite the name — keeps pytest collection quiet.
+    __test__ = False
+
+    path: str = ":memory:"
+    compiled_rule_storage: bool = True
+    fastpath: FastPathConfig | None = None
+    statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE
+    maintenance_policy: MaintenancePolicy = field(
+        default_factory=MaintenancePolicy
+    )
+    trace: bool = False

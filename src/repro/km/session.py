@@ -15,20 +15,22 @@ standard normalisation automatically when a text program mixes them.
 from __future__ import annotations
 
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Iterator, Sequence, Union
 
 from ..analysis import AnalysisConfig, DiagnosticReport, analyze
 from ..datalog.clauses import Clause, Program, Query
 from ..datalog.parser import parse_program, parse_query
 from ..datalog.terms import Atom, Variable
 from ..dbms.catalog import ExtensionalCatalog, fact_table_name
-from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE, Database
+from ..dbms.engine import Database
 from ..dbms.schema import RelationSchema, quote_identifier
 from ..dbms.sqlgen import compile_rule_body
 from ..errors import CatalogError, SemanticError
 from ..maintenance.delta import propagate_inserts
-from ..maintenance.dred import DeleteMaintenance, MaintenancePolicy
+from ..maintenance.dred import DeleteMaintenance
 from ..maintenance.plan import (
     MaintenancePlan,
     MaintenanceResult,
@@ -37,9 +39,11 @@ from ..maintenance.plan import (
 )
 from ..maintenance.refresh import full_refresh
 from ..maintenance.registry import MaterializedViewRegistry, view_table_name
+from ..obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 from ..runtime.context import FastPathConfig
 from ..runtime.program import ExecutionResult, LfpStrategy
 from .compiler import CompilationResult, QueryCompiler
+from .config import TestbedConfig
 from .constraints import assert_consistent, check_consistency
 from .precompile import PrecompiledQueryCache, cache_key
 from .stored import StoredDKB
@@ -66,31 +70,61 @@ class QueryResult:
     answered_from_view: bool = False
 
     @property
-    def compile_seconds(self) -> float:
-        """The paper's ``t_c`` (zero for view-answered queries)."""
-        if self.compilation is None:
-            return 0.0
-        return self.compilation.timings.total
+    def timings(self) -> dict[str, float]:
+        """Phase -> seconds, the common result-object timing contract.
+
+        The compilation components (empty for view-answered queries, which
+        compile nothing) plus one ``execute`` entry, so
+        ``sum(result.timings.values()) == result.total_seconds`` uniformly
+        across query, update, and maintenance results.
+        """
+        mapping: dict[str, float] = (
+            {} if self.compilation is None
+            else dict(self.compilation.timings.components())
+        )
+        mapping["execute"] = self.execution_seconds
+        return mapping
 
     @property
     def total_seconds(self) -> float:
         """Compilation plus execution."""
-        return self.compile_seconds + self.execution_seconds
+        return sum(self.timings.values())
+
+    @property
+    def compile_seconds(self) -> float:
+        """The paper's ``t_c`` (zero for view-answered queries).
+
+        A thin delegate over :attr:`timings` — everything except the
+        ``execute`` phase.
+        """
+        return self.total_seconds - self.execution_seconds
+
+
+#: ``Testbed(...)`` keywords accepted for backward compatibility; each maps
+#: onto the :class:`TestbedConfig` field of the same name.
+_LEGACY_KEYWORDS = (
+    "path",
+    "compiled_rule_storage",
+    "fastpath",
+    "statement_cache_size",
+    "maintenance_policy",
+)
 
 
 class Testbed:
     """A D/KBMS testbed session.
 
     Args:
-        path: SQLite database path (default: in-memory).
-        compiled_rule_storage: maintain ``reachablepreds`` (the compiled rule
-            form).  Turning this off reproduces the paper's source-form-only
-            configuration: updates get much faster, query compilation slower.
-        fastpath: default fast-path configuration for query execution
-            (``None`` = the paper-faithful slow path; individual ``query``
-            calls can override it).
-        statement_cache_size: prepared-statement cache capacity of the
-            underlying :class:`Database`; ``0`` disables the cache.
+        config: a :class:`TestbedConfig` carrying every session knob, or a
+            bare database path string (shorthand for
+            ``TestbedConfig(path=...)``), or ``None`` for the defaults.
+        **legacy: the pre-config keywords (``path``,
+            ``compiled_rule_storage``, ``fastpath``,
+            ``statement_cache_size``, ``maintenance_policy``) — still
+            accepted, but deprecated; each emits a
+            :class:`DeprecationWarning` and maps onto the
+            :class:`TestbedConfig` field of the same name.  Mixing them with
+            an explicit :class:`TestbedConfig` is an error.
     """
 
     # Despite the Test* name (from the paper), this is not a pytest case.
@@ -98,22 +132,53 @@ class Testbed:
 
     def __init__(
         self,
-        path: str = ":memory:",
-        compiled_rule_storage: bool = True,
-        fastpath: FastPathConfig | None = None,
-        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+        config: "TestbedConfig | str | None" = None,
+        **legacy: object,
     ):
-        self.database = Database(path, statement_cache_size=statement_cache_size)
+        if isinstance(config, TestbedConfig):
+            if legacy:
+                raise TypeError(
+                    "pass either a TestbedConfig or legacy keywords, not "
+                    "both: " + ", ".join(sorted(legacy))
+                )
+        else:
+            unknown = sorted(set(legacy) - set(_LEGACY_KEYWORDS))
+            if unknown:
+                raise TypeError(
+                    "unknown Testbed keyword(s): " + ", ".join(unknown)
+                )
+            if isinstance(config, str):
+                legacy.setdefault("path", config)
+            if set(legacy) - {"path"} or (
+                "path" in legacy and not isinstance(config, str)
+            ):
+                warnings.warn(
+                    "Testbed keyword configuration is deprecated; pass a "
+                    "TestbedConfig instead: Testbed(TestbedConfig(...))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = TestbedConfig(**legacy)  # type: ignore[arg-type]
+        self.config = config
+        self.database = Database(
+            config.path, statement_cache_size=config.statement_cache_size
+        )
         self.catalog = ExtensionalCatalog(self.database)
-        self.stored = StoredDKB(self.database, compiled_storage=compiled_rule_storage)
+        self.stored = StoredDKB(
+            self.database, compiled_storage=config.compiled_rule_storage
+        )
         self.workspace = WorkspaceDKB()
         self._compiler = QueryCompiler(self.workspace, self.stored, self.catalog)
         self.precompiled = PrecompiledQueryCache()
-        self.fastpath = fastpath
+        self.fastpath = config.fastpath
         self.views = MaterializedViewRegistry(self.database)
-        self.maintenance_policy = MaintenancePolicy()
+        self.maintenance_policy = config.maintenance_policy
         self.maintenance_log: list[MaintenanceResult] = []
         self._view_plans: dict[str, MaintenancePlan] = {}
+        self._tracer: Tracer | None = None
+        self.last_query_span: Span | None = None
+        if config.trace:
+            self.enable_tracing()
 
     def close(self) -> None:
         """Close the DBMS connection."""
@@ -124,6 +189,59 @@ class Testbed:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The active observability sink (``None`` while tracing is off)."""
+        return self._tracer
+
+    def enable_tracing(self, capture_plans: bool = True) -> Tracer:
+        """Switch structured tracing on; returns the (idempotent) tracer.
+
+        While enabled, every query/update/maintenance operation records a
+        span tree, the metrics registry accumulates counters and
+        histograms, and (with ``capture_plans``) each distinct compiled
+        SELECT gets an ``EXPLAIN QUERY PLAN`` snapshot.
+        """
+        if self._tracer is None:
+            self._tracer = Tracer(capture_plans=capture_plans)
+            self.database.set_tracer(self._tracer)
+        return self._tracer
+
+    def disable_tracing(self) -> Tracer | None:
+        """Switch tracing off; returns the detached tracer (if any)."""
+        tracer, self._tracer = self._tracer, None
+        self.database.set_tracer(None)
+        return tracer
+
+    @contextmanager
+    def trace(self, capture_plans: bool = True) -> Iterator[Tracer]:
+        """Trace the operations inside the ``with`` block.
+
+        Installs a fresh :class:`Tracer` (or keeps the already-enabled one)
+        for the duration of the block and restores the previous tracing
+        state afterwards::
+
+            with tb.trace() as tracer:
+                tb.query("?- ancestor(X, \\"john\\").")
+            print(render_span_tree(tracer))
+        """
+        previous = self._tracer
+        tracer = previous if previous is not None else Tracer(
+            capture_plans=capture_plans
+        )
+        self._tracer = tracer
+        self.database.set_tracer(tracer)
+        try:
+            yield tracer
+        finally:
+            self._tracer = previous
+            self.database.set_tracer(previous)
+
+    def _active_tracer(self) -> "Tracer | NullTracer":
+        return self._tracer if self._tracer is not None else NULL_TRACER
 
     # -- building the D/KB ----------------------------------------------------
 
@@ -247,7 +365,11 @@ class Testbed:
         self._register_plan(predicate, plan)
         started = time.perf_counter()
         total = full_refresh(
-            self.database, plan, self._tables_of(plan), self.fastpath
+            self.database,
+            plan,
+            self._tables_of(plan),
+            self.fastpath,
+            tracer=self._tracer,
         )
         self.views.mark_group_fresh(predicate)
         self.database.commit()
@@ -287,7 +409,11 @@ class Testbed:
             self._register_plan(view, plan)
             started = time.perf_counter()
             total = full_refresh(
-                self.database, plan, self._tables_of(plan), self.fastpath
+                self.database,
+                plan,
+                self._tables_of(plan),
+                self.fastpath,
+                tracer=self._tracer,
             )
             self.views.mark_group_fresh(view)
             self.views.bump_epoch([view])
@@ -328,7 +454,10 @@ class Testbed:
         variables = tuple(Variable(f"V{i}") for i in range(arity))
         query = Query((Atom(predicate, variables),))
         compilation = self._compiler.compile(
-            query, optimize_query=False, strategy=LfpStrategy.SEMINAIVE
+            query,
+            optimize_query=False,
+            strategy=LfpStrategy.SEMINAIVE,
+            tracer=self._tracer,
         )
         return build_plan(predicate, compilation)
 
@@ -394,7 +523,11 @@ class Testbed:
             )
         else:
             stats = propagate_inserts(
-                self.database, merged, self._tables_of(merged), {predicate: stage}
+                self.database,
+                merged,
+                self._tables_of(merged),
+                {predicate: stage},
+                tracer=self._tracer,
             )
             self.views.bump_epoch(views)
             self.maintenance_log.append(
@@ -430,7 +563,7 @@ class Testbed:
             # joining the deleted relation against itself derives
             # candidates from pairs of deleted rows, invisible afterwards.
             run = DeleteMaintenance(
-                self.database, merged, self._tables_of(merged)
+                self.database, merged, self._tables_of(merged), tracer=self._tracer
             )
             run.overdelete({predicate: stage})
         deleted = self.catalog.delete_rows(predicate, rows)
@@ -476,7 +609,11 @@ class Testbed:
         total = 0
         for view, plan in zip(views, plans):
             total += full_refresh(
-                self.database, plan, self._tables_of(plan), self.fastpath
+                self.database,
+                plan,
+                self._tables_of(plan),
+                self.fastpath,
+                tracer=self._tracer,
             )
             self.views.mark_group_fresh(view)
         self.views.bump_epoch(views)
@@ -517,7 +654,10 @@ class Testbed:
             return None
         started = time.perf_counter()
         select = compile_rule_body(query.as_clause())
-        with self.database.phase(VIEW_ANSWER_PHASE):
+        tracer = self._active_tracer()
+        with tracer.span(
+            "view_answer", category="query"
+        ), self.database.phase(VIEW_ANSWER_PHASE):
             rows = self.database.execute(
                 select.render([table_of[p] for p in select.table_slots]),
                 select.parameters,
@@ -547,7 +687,9 @@ class Testbed:
         ``lint`` timing component.
         """
         self._check_workspace_consistency()
-        return self._compiler.compile(query, optimize, strategy, lint=lint)
+        return self._compiler.compile(
+            query, optimize, strategy, lint=lint, tracer=self._tracer
+        )
 
     def query(
         self,
@@ -574,6 +716,25 @@ class Testbed:
         (``QueryResult.answered_from_view`` marks such results).  Pass
         ``use_views=False`` to force the compile-and-evaluate path.
         """
+        tracer = self._active_tracer()
+        with tracer.span("query", category="query", text=str(query)):
+            result = self._query(
+                query, optimize, strategy, precompile, fastpath, use_views, tracer
+            )
+        if self._tracer is not None:
+            self.last_query_span = self._tracer.last_root
+        return result
+
+    def _query(
+        self,
+        query: Union[Query, str],
+        optimize: Union[bool, str],
+        strategy: LfpStrategy,
+        precompile: bool,
+        fastpath: FastPathConfig | None,
+        use_views: bool,
+        tracer: "Tracer | NullTracer",
+    ) -> QueryResult:
         if use_views and self.views.has_views():
             if isinstance(query, str):
                 query = parse_query(query)
@@ -589,11 +750,13 @@ class Testbed:
         else:
             compilation = self.compile_query(query, optimize, strategy)
         started = time.perf_counter()
-        execution = compilation.program.execute(
-            self.database,
-            self.catalog,
-            fastpath=fastpath if fastpath is not None else self.fastpath,
-        )
+        with tracer.span("execute", category="execute"):
+            execution = compilation.program.execute(
+                self.database,
+                self.catalog,
+                fastpath=fastpath if fastpath is not None else self.fastpath,
+                tracer=tracer,
+            )
         elapsed = time.perf_counter() - started
         return QueryResult(execution.rows, compilation, execution, elapsed)
 
@@ -631,7 +794,8 @@ class Testbed:
         if verify_consistency:
             assert_consistent(self)
         result = update_stored_dkb(
-            self.workspace, self.stored, self.catalog, lint=lint
+            self.workspace, self.stored, self.catalog, lint=lint,
+            tracer=self._tracer,
         )
         self.precompiled.invalidate_for(
             {c.head_predicate for c in result.new_rules}

@@ -30,13 +30,19 @@ from ..datalog.clauses import Clause, Program
 from ..datalog.typecheck import infer_types
 from ..dbms.catalog import ExtensionalCatalog
 from ..errors import UpdateError
+from ..obs.timings import TimingsMapping
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .stored import StoredDKB
 from .workspace import WorkspaceDKB
 
 
 @dataclass
-class UpdateTimings:
-    """Wall-clock seconds per update component."""
+class UpdateTimings(TimingsMapping):
+    """Wall-clock seconds per update component.
+
+    Also a read-only :class:`~collections.abc.Mapping` over the components
+    (iteration excludes ``total``, so ``sum(t.values()) == t.total``).
+    """
 
     extract: float = 0.0
     closure: float = 0.0
@@ -76,6 +82,11 @@ class UpdateResult:
     new_predicates: list[str]
     timings: UpdateTimings
 
+    @property
+    def total_seconds(self) -> float:
+        """Total update time (the common result-object timing contract)."""
+        return self.timings.total
+
 
 #: Vetting configuration: undefined predicates are allowed — a stored rule
 #: may reference predicates whose definitions arrive in a later update
@@ -88,6 +99,7 @@ def update_stored_dkb(
     stored: StoredDKB,
     catalog: ExtensionalCatalog,
     lint: bool = False,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> UpdateResult:
     """Fold the workspace rules into the Stored D/KB.
 
@@ -103,11 +115,29 @@ def update_stored_dkb(
             static-analysis pass set and reject the update when any
             error-level diagnostic is found; the time spent is the ``lint``
             timing component.
+        tracer: optional observability sink; each update component becomes
+            a child span of one ``update`` span.
 
     Raises:
         UpdateError: when type checking fails against the stored dictionary,
             or (with ``lint=True``) when vetting finds an error.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("update", category="update") as update_span:
+        result = _update_stored_dkb(workspace, stored, catalog, lint, tracer)
+        if tracer.enabled:
+            update_span.set("new_rules", len(result.new_rules))
+            update_span.set("new_closure_pairs", result.new_closure_pairs)
+    return result
+
+
+def _update_stored_dkb(
+    workspace: WorkspaceDKB,
+    stored: StoredDKB,
+    catalog: ExtensionalCatalog,
+    lint: bool,
+    tracer: "Tracer | NullTracer",
+) -> UpdateResult:
     timings = UpdateTimings()
 
     # Step 1: the difference between the workspace and the stored rules, and
@@ -116,16 +146,17 @@ def update_stored_dkb(
     # update cost per Test 9 — is skipped entirely: "the update time is
     # simply the time to store the source form of the rules" (Test 8).
     started = time.perf_counter()
-    stored_texts = stored.stored_rule_texts()
-    delta_rules = [c for c in workspace.rules if str(c) not in stored_texts]
-    referenced: set[str] = set()
-    for clause in delta_rules:
-        referenced.add(clause.head_predicate)
-        referenced.update(clause.body_predicates)
-    if stored.compiled_storage:
-        extracted = stored.extract_relevant_rules(sorted(referenced))
-    else:
-        extracted = Program()
+    with tracer.span("extract", category="update"):
+        stored_texts = stored.stored_rule_texts()
+        delta_rules = [c for c in workspace.rules if str(c) not in stored_texts]
+        referenced: set[str] = set()
+        for clause in delta_rules:
+            referenced.add(clause.head_predicate)
+            referenced.update(clause.body_predicates)
+        if stored.compiled_storage:
+            extracted = stored.extract_relevant_rules(sorted(referenced))
+        else:
+            extracted = Program()
     timings.extract = time.perf_counter() - started
 
     if not delta_rules:
@@ -133,46 +164,50 @@ def update_stored_dkb(
 
     # Steps 2-3: composite PCG and its (incremental) transitive closure.
     started = time.perf_counter()
-    composite = Program(list(extracted) + delta_rules)
-    new_closure_pairs = 0
-    if stored.compiled_storage:
-        new_edges: list[tuple[str, str]] = []
-        for clause in delta_rules:
-            for atom in clause.body:
-                new_edges.append((clause.head_predicate, atom.predicate))
-        new_closure_pairs = stored.add_edges_incremental(new_edges)
+    with tracer.span("closure", category="update"):
+        composite = Program(list(extracted) + delta_rules)
+        new_closure_pairs = 0
+        if stored.compiled_storage:
+            new_edges: list[tuple[str, str]] = []
+            for clause in delta_rules:
+                for atom in clause.body:
+                    new_edges.append((clause.head_predicate, atom.predicate))
+            new_closure_pairs = stored.add_edges_incremental(new_edges)
     timings.closure = time.perf_counter() - started
 
     # Step 4: type checking over the composite rules.
     started = time.perf_counter()
-    derived = composite.derived_predicates
-    base_candidates = sorted(
-        {
-            p
-            for clause in composite.rules
-            for p in clause.body_predicates
-            if p not in derived
-        }
-    )
-    base_types = catalog.types_of(base_candidates)
-    # Body references may point at stored derived predicates whose rules were
-    # not extracted (always so in source-only mode); their types come from
-    # the intensional dictionary.
-    dictionary_types = stored.derived_types_of(
-        sorted(derived | set(base_candidates))
-    )
-    try:
-        # allow_undefined: a stored rule may reference predicates whose
-        # definitions arrive in a later update (paper section 3.1).
-        environment = infer_types(
-            composite,
-            {**base_types, **dictionary_types},
-            allow_undefined=True,
+    with tracer.span("typecheck", category="update"):
+        derived = composite.derived_predicates
+        base_candidates = sorted(
+            {
+                p
+                for clause in composite.rules
+                for p in clause.body_predicates
+                if p not in derived
+            }
         )
-    except Exception as error:
-        # Undo any closure pairs already written in step 3.
-        stored.database.rollback()
-        raise UpdateError(f"update rejected by type checking: {error}") from error
+        base_types = catalog.types_of(base_candidates)
+        # Body references may point at stored derived predicates whose rules
+        # were not extracted (always so in source-only mode); their types come
+        # from the intensional dictionary.
+        dictionary_types = stored.derived_types_of(
+            sorted(derived | set(base_candidates))
+        )
+        try:
+            # allow_undefined: a stored rule may reference predicates whose
+            # definitions arrive in a later update (paper section 3.1).
+            environment = infer_types(
+                composite,
+                {**base_types, **dictionary_types},
+                allow_undefined=True,
+            )
+        except Exception as error:
+            # Undo any closure pairs already written in step 3.
+            stored.database.rollback()
+            raise UpdateError(
+                f"update rejected by type checking: {error}"
+            ) from error
     timings.typecheck = time.perf_counter() - started
 
     # Optional vetting: collect-all analysis over the composite rules, run
@@ -180,12 +215,13 @@ def update_stored_dkb(
     # untouched (the closure pairs from step 3 are rolled back).
     if lint:
         started = time.perf_counter()
-        report = analyze(
-            composite,
-            config=VET_CONFIG,
-            base_types=base_types,
-            dictionary_types=dictionary_types,
-        )
+        with tracer.span("lint", category="update"):
+            report = analyze(
+                composite,
+                config=VET_CONFIG,
+                base_types=base_types,
+                dictionary_types=dictionary_types,
+            )
         timings.lint = time.perf_counter() - started
         if report.has_errors:
             stored.database.rollback()
@@ -196,13 +232,14 @@ def update_stored_dkb(
 
     # Steps 5-7: write the dictionary, closure, and source structures.
     started = time.perf_counter()
-    new_predicates: list[str] = []
-    for predicate in sorted(derived):
-        if not stored.has_predicate(predicate):
-            stored.register_predicate(predicate, environment.of(predicate))
-            new_predicates.append(predicate)
-    stored.store_rules(delta_rules)
-    stored.database.commit()
+    with tracer.span("store", category="update"):
+        new_predicates: list[str] = []
+        for predicate in sorted(derived):
+            if not stored.has_predicate(predicate):
+                stored.register_predicate(predicate, environment.of(predicate))
+                new_predicates.append(predicate)
+        stored.store_rules(delta_rules)
+        stored.database.commit()
     timings.store = time.perf_counter() - started
 
     return UpdateResult(delta_rules, new_closure_pairs, new_predicates, timings)

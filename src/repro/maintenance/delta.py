@@ -24,6 +24,7 @@ from ..dbms.engine import Database
 from ..dbms.schema import RelationSchema, quote_identifier
 from ..dbms.sqlgen import compile_rule_body, copy_sql, insert_new_tuples_sql
 from ..errors import EvaluationError
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from ..runtime import naive
 from .plan import MaintenancePlan
 
@@ -43,6 +44,7 @@ def propagate_inserts(
     plan: MaintenancePlan,
     table_of: Mapping[str, str],
     seed_tables: Mapping[str, str],
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> DeltaStats:
     """Propagate inserted tuples into the plan's materialized relations.
 
@@ -67,12 +69,15 @@ def propagate_inserts(
             f"plan for {plan.view!r} contains negation; delta propagation "
             "is unsound — use a full refresh"
         )
+    tracer = tracer if tracer is not None else NULL_TRACER
     compiled = [(c, compile_rule_body(c)) for c in plan.rules]
     delta: dict[str, str] = dict(seed_tables)
     created: list[str] = []
     iterations = 0
     added = 0
-    with database.phase(PHASE_MAINT_DELTA):
+    with tracer.span(
+        "maint_delta", category="maintenance", view=plan.view
+    ) as maint_span, database.phase(PHASE_MAINT_DELTA):
         try:
             while delta:
                 if iterations >= naive.MAX_ITERATIONS:
@@ -82,53 +87,60 @@ def propagate_inserts(
                         f"{naive.MAX_ITERATIONS} iterations"
                     )
                 iterations += 1
-                new_delta: dict[str, str] = {}
-                for clause, select in compiled:
-                    head = clause.head_predicate
-                    for index, predicate in enumerate(
-                        select.positive_predicates
-                    ):
-                        if predicate not in delta:
-                            continue
-                        if head not in new_delta:
-                            name = database.fresh_temp_name(f"mdelta_{head}")
-                            database.create_relation(
-                                RelationSchema(name, plan.types[head]),
-                                temporary=True,
+                added_before = added
+                with tracer.span(
+                    "iteration", category="iteration", iteration=iterations
+                ) as it_span:
+                    new_delta: dict[str, str] = {}
+                    for clause, select in compiled:
+                        head = clause.head_predicate
+                        for index, predicate in enumerate(
+                            select.positive_predicates
+                        ):
+                            if predicate not in delta:
+                                continue
+                            if head not in new_delta:
+                                name = database.fresh_temp_name(f"mdelta_{head}")
+                                database.create_relation(
+                                    RelationSchema(name, plan.types[head]),
+                                    temporary=True,
+                                )
+                                created.append(name)
+                                new_delta[head] = name
+                            tables = [
+                                delta[p] if j == index else table_of[p]
+                                for j, p in enumerate(select.table_slots)
+                            ]
+                            database.execute(
+                                insert_new_tuples_sql(
+                                    new_delta[head],
+                                    select.render(tables),
+                                    clause.head.arity,
+                                ),
+                                select.parameters,
                             )
-                            created.append(name)
-                            new_delta[head] = name
-                        tables = [
-                            delta[p] if j == index else table_of[p]
-                            for j, p in enumerate(select.table_slots)
-                        ]
+                    # Strip tuples the views already hold, fold the survivors
+                    # in; the surviving delta drives the next iteration.
+                    next_delta: dict[str, str] = {}
+                    for head, name in new_delta.items():
+                        arity = len(plan.types[head])
+                        columns = ", ".join(f"c{i}" for i in range(arity))
                         database.execute(
-                            insert_new_tuples_sql(
-                                new_delta[head],
-                                select.render(tables),
-                                clause.head.arity,
-                            ),
-                            select.parameters,
+                            f"DELETE FROM {quote_identifier(name)} "
+                            f"WHERE ({columns}) IN "
+                            f"(SELECT {columns} FROM "
+                            f"{quote_identifier(table_of[head])})"
                         )
-                # Strip tuples the views already hold, fold the survivors in;
-                # the surviving delta drives the next iteration.
-                next_delta: dict[str, str] = {}
-                for head, name in new_delta.items():
-                    arity = len(plan.types[head])
-                    columns = ", ".join(f"c{i}" for i in range(arity))
-                    database.execute(
-                        f"DELETE FROM {quote_identifier(name)} "
-                        f"WHERE ({columns}) IN "
-                        f"(SELECT {columns} FROM "
-                        f"{quote_identifier(table_of[head])})"
-                    )
-                    count = database.row_count(name)
-                    if count:
-                        database.execute(copy_sql(table_of[head], name, arity))
-                        added += count
-                        next_delta[head] = name
-                delta = next_delta
+                        count = database.row_count(name)
+                        if count:
+                            database.execute(copy_sql(table_of[head], name, arity))
+                            added += count
+                            next_delta[head] = name
+                    delta = next_delta
+                    it_span.set("delta_tuples", added - added_before)
         finally:
             for name in created:
                 database.drop_relation(name)
+        maint_span.set("iterations", iterations)
+        maint_span.set("tuples_added", added)
     return DeltaStats(iterations, added)

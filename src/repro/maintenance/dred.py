@@ -36,6 +36,7 @@ from ..dbms.engine import Database
 from ..dbms.schema import RelationSchema, quote_identifier
 from ..dbms.sqlgen import compile_rule_body, copy_sql, insert_new_tuples_sql
 from ..errors import EvaluationError
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from ..runtime import naive
 from .delta import propagate_inserts
 from .plan import MaintenancePlan
@@ -133,7 +134,9 @@ class DeleteMaintenance:
         database: Database,
         plan: MaintenancePlan,
         table_of: Mapping[str, str],
+        tracer: "Tracer | NullTracer | None" = None,
     ):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if plan.has_negation:
             raise EvaluationError(
                 f"plan for {plan.view!r} contains negation; DRed is "
@@ -163,7 +166,9 @@ class DeleteMaintenance:
         """
         delta = dict(seed_tables)
         iterations = 0
-        with self.database.phase(PHASE_MAINT_DRED):
+        with self.tracer.span(
+            "dred_overdelete", category="maintenance", view=self.plan.view
+        ) as span, self.database.phase(PHASE_MAINT_DRED):
             while delta:
                 if iterations >= naive.MAX_ITERATIONS:
                     raise EvaluationError(
@@ -225,6 +230,8 @@ class DeleteMaintenance:
             self._overdeleted = sum(
                 self.database.row_count(t) for t in self.candidates.values()
             )
+            span.set("iterations", iterations)
+            span.set("candidates", self._overdeleted)
         return self._overdeleted
 
     def apply_and_rederive(self) -> DredStats:
@@ -238,7 +245,9 @@ class DeleteMaintenance:
         database = self.database
         rederive_seeds: dict[str, str] = {}
         try:
-            with database.phase(PHASE_MAINT_DRED):
+            with self.tracer.span(
+                "dred_rederive", category="maintenance", view=self.plan.view
+            ) as span, database.phase(PHASE_MAINT_DRED):
                 for head, cand in self.candidates.items():
                     arity = len(self.plan.types[head])
                     columns = ", ".join(f"c{i}" for i in range(arity))
@@ -284,10 +293,11 @@ class DeleteMaintenance:
                         )
                         rederived += count
                         survivors[head] = name
+                span.set("rederived_round0", rederived)
             iterations = 0
             if survivors:
                 stats = propagate_inserts(
-                    database, self.plan, self.table_of, survivors
+                    database, self.plan, self.table_of, survivors, self.tracer
                 )
                 rederived += stats.tuples_added
                 iterations = stats.iterations

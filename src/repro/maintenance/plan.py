@@ -138,3 +138,17 @@ class MaintenanceResult:
     tuples_removed: int = 0
     iterations: int = 0
     decision: "object | None" = field(default=None, compare=False)
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Phase -> seconds, the common result-object timing contract.
+
+        Maintenance is a single phase named after the strategy that ran
+        (``delta`` / ``dred`` / ``refresh``).
+        """
+        return {self.strategy: self.seconds}
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time of the maintenance work (same contract as query results)."""
+        return self.seconds

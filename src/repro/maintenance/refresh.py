@@ -19,6 +19,7 @@ from ..datalog.pcg import Clique
 from ..dbms.engine import Database
 from ..dbms.schema import quote_identifier
 from ..errors import EvaluationError
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from ..runtime.context import EvaluationContext, FastPathConfig
 from ..runtime.relalg import evaluate_nonrecursive
 from ..runtime.seminaive import evaluate_clique_seminaive
@@ -32,6 +33,7 @@ def full_refresh(
     plan: MaintenancePlan,
     table_of: Mapping[str, str],
     fastpath: FastPathConfig | None = None,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> int:
     """Recompute every materialized relation of ``plan`` from scratch.
 
@@ -45,19 +47,24 @@ def full_refresh(
             f"plan for {plan.view!r} has no evaluation order; merged plans "
             "cannot be refreshed as a unit"
         )
-    with database.phase(PHASE_MAINT_REFRESH):
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span(
+        "maint_refresh", category="maintenance", view=plan.view
+    ) as span, database.phase(PHASE_MAINT_REFRESH):
         for predicate in plan.derived:
             database.execute(
                 f"DELETE FROM {quote_identifier(table_of[predicate])}"
             )
         context = EvaluationContext(
-            database, table_of, plan.types, fastpath=fastpath
+            database, table_of, plan.types, fastpath=fastpath, tracer=tracer
         )
         for node in plan.order:
             if isinstance(node, Clique):
                 evaluate_clique_seminaive(context, node)
             else:
                 evaluate_nonrecursive(context, node.predicate, node.rules)
-        return sum(
+        recomputed = sum(
             database.row_count(table_of[p]) for p in plan.derived
         )
+        span.set("tuples", recomputed)
+        return recomputed

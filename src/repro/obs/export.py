@@ -1,0 +1,107 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a plain-text span tree.
+
+The Chrome format is the *JSON Array / complete-event* flavour: one object
+per span with ``ph: "X"``, ``ts``/``dur`` in microseconds relative to the
+tracer's epoch.  The output loads in ``chrome://tracing`` / Perfetto and —
+because spans are emitted in depth-first pre-order and children are nested
+strictly inside their parents — the ``ts`` sequence is non-decreasing and
+every child interval lies within its parent's interval.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Optional, Sequence
+
+from .trace import Span, Tracer
+
+__all__ = ["chrome_trace_events", "write_chrome_trace", "render_span_tree"]
+
+
+def _span_event(span: Span, epoch: float, pid: int, tid: int) -> dict[str, Any]:
+    end = span.end if span.end is not None else span.start
+    args: dict[str, Any] = dict(span.attributes)
+    if span.statements:
+        args["statements"] = span.statements
+        args["statement_seconds"] = round(span.statement_seconds, 9)
+    return {
+        "name": span.name,
+        "cat": span.category or "span",
+        "ph": "X",
+        "ts": max(0.0, (span.start - epoch) * 1e6),
+        "dur": max(0.0, (end - span.start) * 1e6),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def chrome_trace_events(
+    roots: Sequence[Span], epoch: Optional[float] = None, pid: int = 1, tid: int = 1
+) -> list[dict[str, Any]]:
+    """Flatten a span forest to Chrome complete events (DFS pre-order)."""
+    if not roots:
+        return []
+    if epoch is None:
+        epoch = min(root.start for root in roots)
+    events: list[dict[str, Any]] = []
+    for root in roots:
+        for span in root.iter_spans():
+            events.append(_span_event(span, epoch, pid, tid))
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    source: "Tracer | Sequence[Span]",
+    metadata: Optional[dict[str, Any]] = None,
+) -> str:
+    """Write a Chrome-trace JSON file for a tracer (or bare span forest)."""
+    if isinstance(source, Tracer):
+        roots: Sequence[Span] = source.roots
+        epoch: Optional[float] = source.epoch
+    else:
+        roots = source
+        epoch = None
+    payload: dict[str, Any] = {
+        "traceEvents": chrome_trace_events(roots, epoch),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["metadata"] = metadata
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def _format_attributes(span: Span) -> str:
+    parts = [f"{key}={value}" for key, value in span.attributes.items()]
+    if span.statements:
+        parts.append(f"stmts={span.statements}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def _render_into(span: Span, depth: int, lines: list[str]) -> None:
+    duration_ms = span.duration * 1e3
+    lines.append(f"{'  ' * depth}{span.name}  {duration_ms:.3f}ms{_format_attributes(span)}")
+    for child in span.children:
+        _render_into(child, depth + 1, lines)
+
+
+def render_span_tree(source: "Tracer | Span | Iterable[Span]") -> str:
+    """Indented plain-text rendering of a span forest (REPL ``:trace``)."""
+    if isinstance(source, Tracer):
+        roots: Iterable[Span] = source.roots
+    elif isinstance(source, Span):
+        roots = [source]
+    else:
+        roots = source
+    lines: list[str] = []
+    for root in roots:
+        _render_into(root, 0, lines)
+    return "\n".join(lines) if lines else "(no spans recorded)"

@@ -1,0 +1,77 @@
+"""EXPLAIN QUERY PLAN capture for compiled SELECTs.
+
+Every *distinct* statement text that reads data (the compiled SELECTs and
+the INSERT ... SELECT forms the code generator emits) is explained once,
+through ``Database.observe`` — the uncounted raw-connection path — so plan
+capture never perturbs the statement stream that Statistics and the
+benchmarks measure.  Each captured plan remembers the span that first
+executed the statement, answering "which phase picked this access path".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["CapturedPlan", "PlanCapture"]
+
+# Statement kinds that embed a SELECT worth explaining.
+_EXPLAINABLE_KINDS = frozenset({"SELECT", "INSERT", "DELETE", "UPDATE"})
+
+
+@dataclass(frozen=True)
+class CapturedPlan:
+    """One EXPLAIN QUERY PLAN snapshot, attributed to its first executor."""
+
+    sql: str
+    span: str
+    detail: tuple[str, ...]
+
+    def render(self) -> str:
+        plan = "\n".join(f"  {line}" for line in self.detail)
+        return f"-- span: {self.span}\n{self.sql}\n{plan}"
+
+
+class PlanCapture:
+    """Collects one plan per distinct SQL text, up to ``limit`` plans."""
+
+    def __init__(self, limit: int = 256) -> None:
+        self.limit = limit
+        self.plans: dict[str, CapturedPlan] = {}
+        self._failed: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def wants(self, kind: str, sql: str) -> bool:
+        """True when ``sql`` is a new, explainable, within-budget statement."""
+        if kind not in _EXPLAINABLE_KINDS:
+            return False
+        if sql in self.plans or sql in self._failed:
+            return False
+        if len(self.plans) >= self.limit:
+            return False
+        return "SELECT" in sql.upper()
+
+    def capture(
+        self, database: Any, sql: str, parameters: Sequence[Any], span: str
+    ) -> None:
+        """Explain ``sql`` via the database's uncounted ``observe`` path.
+
+        Failures (e.g. a scratch table already dropped by the time we look)
+        are remembered and never retried; plan capture must not raise into
+        the execution path.
+        """
+        try:
+            rows = database.observe(f"EXPLAIN QUERY PLAN {sql}", tuple(parameters))
+        except Exception:
+            self._failed.add(sql)
+            return
+        # sqlite EQP rows are (id, parent, notused, detail).
+        detail = tuple(str(row[-1]) for row in rows)
+        self.plans[sql] = CapturedPlan(sql=sql, span=span, detail=detail)
+
+    def render(self) -> str:
+        if not self.plans:
+            return "(no plans captured)"
+        return "\n\n".join(plan.render() for plan in self.plans.values())

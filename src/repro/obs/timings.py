@@ -1,0 +1,41 @@
+"""A Mapping facade over per-phase timing dataclasses.
+
+``CompilationTimings`` and ``UpdateTimings`` each expose an ``as_dict()``
+with one entry per phase plus a ``"total"``.  Mixing this class in turns
+them into read-only mappings over the *component* entries (iteration skips
+``"total"`` so ``sum(t.values())`` never double-counts) and gives every
+result object the common ``total_seconds`` accessor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator
+
+__all__ = ["TimingsMapping"]
+
+
+class TimingsMapping(Mapping[str, float]):
+    """Read-only mapping over a timing dataclass's phase components."""
+
+    def as_dict(self) -> dict[str, float]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def components(self) -> dict[str, float]:
+        """Phase -> seconds, excluding the aggregate ``total`` entry."""
+        return {key: value for key, value in self.as_dict().items() if key != "total"}
+
+    def __getitem__(self, key: str) -> float:
+        # Consistent with iteration: only the components are mapping keys;
+        # the aggregate stays on ``total`` / ``total_seconds``.
+        return self.components()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.components())
+
+    def __len__(self) -> int:
+        return len(self.components())
+
+    @property
+    def total_seconds(self) -> float:
+        return float(self.as_dict()["total"])

@@ -1,0 +1,264 @@
+"""Hierarchical span tracing for the testbed (the ``TraceContext``).
+
+The paper is a measurement apparatus: every figure in Section 5 is a
+breakdown of where compilation and LFP-evaluation time goes.  This module
+provides the event spine for that breakdown — a tree of :class:`Span`
+objects (query -> compile phases -> clique -> iteration) plus a flat stream
+of :class:`StatementRecord` events, one per DBMS statement, attributed to
+the innermost open span.
+
+Design constraints:
+
+* **Zero cost when disabled.**  The default tracer is :data:`NULL_TRACER`,
+  whose ``span(...)`` returns one shared re-usable null context manager and
+  whose ``on_statement`` hook is never installed on the
+  :class:`~repro.dbms.engine.Database` at all.  Instrumented code guards
+  any extra work (e.g. delta-cardinality probes) behind ``tracer.enabled``.
+* **No observer effect.**  The tracer itself must never issue counted
+  statements; anything it wants to read from SQLite (EXPLAIN plans, delta
+  counts) goes through ``Database.observe`` which bypasses both the
+  statement cache and :class:`~repro.dbms.engine.Statistics`.
+* **Statistics stays a sink.**  ``Database`` feeds the same per-statement
+  event to ``Statistics.record`` and (when installed) to
+  ``Tracer.on_statement``; the two observers share one stream and cannot
+  disagree about what ran.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from .metrics import MetricsRegistry
+from .plans import PlanCapture
+
+__all__ = [
+    "Span",
+    "StatementRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+@dataclass(frozen=True)
+class StatementRecord:
+    """One DBMS statement as seen by the event stream.
+
+    Field names ``phase`` / ``kind`` / ``seconds`` deliberately match
+    :class:`repro.dbms.engine.StatementEvent` so consumers written against
+    the Statistics trace (e.g. :func:`repro.runtime.parallel_sim.
+    simulate_parallel_lfp`) accept either record type unchanged.
+    """
+
+    phase: str
+    sql: str
+    kind: str
+    seconds: float
+    rows_fetched: int = 0
+    rows_changed: int = 0
+    cache_hit: Optional[bool] = None
+    parameters: tuple = ()
+
+
+@dataclass
+class Span:
+    """A node in the trace tree: a named interval with attributes.
+
+    ``statements`` / ``statement_seconds`` count only statements attributed
+    *directly* to this span (not to descendants), so summing them over the
+    whole tree equals the total statement count of the traced region.
+    """
+
+    name: str
+    category: str = ""
+    start: float = 0.0
+    end: Optional[float] = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    statements: int = 0
+    statement_seconds: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; measured up to *now* while the span is open."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(0.0, end - self.start)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) an attribute on the span."""
+        self.attributes[key] = value
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """Depth-first pre-order walk of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+
+class _NullSpan:
+    """Inert span handed out by the disabled tracer; every call is a no-op."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    attributes: dict[str, Any] = {}
+    children: list[Span] = []
+    statements = 0
+    statement_seconds = 0.0
+    duration = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Shared, re-entrant, re-usable context manager yielding the null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Disabled tracer: satisfies the Tracer interface at zero cost.
+
+    Instrumented code always holds *some* tracer (``tracer or NULL_TRACER``)
+    so hot loops contain no ``if tracer is not None`` branching beyond the
+    single ``tracer.enabled`` guard for optional extra work.
+    """
+
+    enabled = False
+    metrics: Optional[MetricsRegistry] = None
+    plans: Optional[PlanCapture] = None
+
+    def span(self, name: str, category: str = "", **attributes: Any) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def on_statement(self, record: StatementRecord, database: Any = None) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects a forest of spans plus per-statement events and metrics.
+
+    One tracer instance can span many queries (e.g. a REPL session with
+    ``:trace on``); each top-level operation opens a new root span.
+    Statements executed while no span is open are attributed to a synthetic
+    ``(ambient)`` root so that *every* statement belongs to exactly one span.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        capture_plans: bool = True,
+        keep_statements: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.plans: Optional[PlanCapture] = PlanCapture() if capture_plans else None
+        self.keep_statements = keep_statements
+        self.epoch = time.perf_counter()
+        self.roots: list[Span] = []
+        self.statements: list[StatementRecord] = []
+        self._stack: list[Span] = []
+        self._ambient: Optional[Span] = None
+
+    # ------------------------------------------------------------------ spans
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a new root)."""
+        node = Span(
+            name=name,
+            category=category,
+            start=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.end = time.perf_counter()
+            self._stack.pop()
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def last_root(self) -> Optional[Span]:
+        return self.roots[-1] if self.roots else None
+
+    def span_path(self) -> str:
+        """Human-readable path of the open span stack, e.g. ``query/compile``."""
+        return "/".join(span.name for span in self._stack)
+
+    def _ambient_span(self) -> Span:
+        if self._ambient is None:
+            self._ambient = Span(name="(ambient)", category="ambient", start=self.epoch)
+            self.roots.append(self._ambient)
+        self._ambient.end = time.perf_counter()
+        return self._ambient
+
+    # ------------------------------------------------------------ event sink
+
+    def on_statement(self, record: StatementRecord, database: Any = None) -> None:
+        """Sink for the Database event stream: attribute, count, capture."""
+        span = self._stack[-1] if self._stack else self._ambient_span()
+        span.statements += 1
+        span.statement_seconds += record.seconds
+        if self.keep_statements:
+            self.statements.append(record)
+
+        metrics = self.metrics
+        metrics.counter("dbms.statements").inc()
+        metrics.counter(f"dbms.statements.{record.kind.lower()}").inc()
+        metrics.counter("dbms.rows_fetched").inc(record.rows_fetched)
+        metrics.counter("dbms.rows_changed").inc(record.rows_changed)
+        metrics.histogram("dbms.statement_seconds").observe(record.seconds)
+        if record.cache_hit is True:
+            metrics.counter("dbms.statement_cache.hits").inc()
+        elif record.cache_hit is False:
+            metrics.counter("dbms.statement_cache.misses").inc()
+
+        if (
+            self.plans is not None
+            and database is not None
+            and self.plans.wants(record.kind, record.sql)
+        ):
+            self.plans.capture(
+                database, record.sql, record.parameters, self.span_path() or span.name
+            )
+
+    # --------------------------------------------------------------- utility
+
+    def clear(self) -> None:
+        """Drop collected spans/statements; metrics and plans are kept."""
+        self.roots = []
+        self.statements = []
+        self._stack = []
+        self._ambient = None

@@ -26,6 +26,7 @@ from ..datalog.terms import Variable
 from ..dbms.engine import Database
 from ..dbms.schema import quote_identifier
 from ..errors import EvaluationError
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,7 @@ def evaluate_counting(
     form: CountingForm,
     table_of: dict[str, str],
     constant: object,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> CountingResult:
     """Evaluate ``form.predicate(constant, Y)`` by the counting method.
 
@@ -145,12 +147,14 @@ def evaluate_counting(
         form: a recognised counting form.
         table_of: physical table per base predicate (``up``/``flat``/``down``).
         constant: the bound first argument of the query.
+        tracer: optional observability sink; the up/down phases become spans.
 
     Raises:
         EvaluationError: when the ``up`` relation is cyclic below the
             constant (counting does not terminate there — the documented
             limitation of the method).
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     up_table = quote_identifier(table_of[form.up])
     flat_table = quote_identifier(table_of[form.flat])
 
@@ -169,64 +173,68 @@ def evaluate_counting(
 
     # Phase 1 — count up: level i holds the nodes i `up`-steps from the
     # constant.  A level exceeding the number of distinct nodes means a cycle.
-    database.execute(
-        f"INSERT INTO {counts} VALUES (0, ?)", (constant,)
-    )
-    node_bound = int(
+    with tracer.span("count_up", category="counting") as up_span:
         database.execute(
-            f"SELECT COUNT(*) FROM "
-            f"(SELECT c0 FROM {up_table} UNION SELECT c1 FROM {up_table})"
-        )[0][0]
-    ) + 1
-    level = 0
-    while True:
-        database.execute(
-            f"INSERT OR IGNORE INTO {counts} "
-            f"SELECT ? + 1, u.c1 FROM {counts} AS c, {up_table} AS u "
-            f"WHERE c.c0 = ? AND u.c0 = c.c1",
-            (level, level),
+            f"INSERT INTO {counts} VALUES (0, ?)", (constant,)
         )
-        produced = int(
+        node_bound = int(
             database.execute(
-                f"SELECT COUNT(*) FROM {counts} WHERE c0 = ?", (level + 1,)
+                f"SELECT COUNT(*) FROM "
+                f"(SELECT c0 FROM {up_table} UNION SELECT c1 FROM {up_table})"
             )[0][0]
-        )
-        if not produced:
-            break
-        level += 1
-        if level > node_bound:
-            for name in (counts, answers):
-                database.drop_relation(name)
-            raise EvaluationError(
-                f"counting does not terminate: relation {form.up!r} is "
-                "cyclic below the query constant"
+        ) + 1
+        level = 0
+        while True:
+            database.execute(
+                f"INSERT OR IGNORE INTO {counts} "
+                f"SELECT ? + 1, u.c1 FROM {counts} AS c, {up_table} AS u "
+                f"WHERE c.c0 = ? AND u.c0 = c.c1",
+                (level, level),
             )
-    max_level = level
+            produced = int(
+                database.execute(
+                    f"SELECT COUNT(*) FROM {counts} WHERE c0 = ?", (level + 1,)
+                )[0][0]
+            )
+            if not produced:
+                break
+            level += 1
+            if level > node_bound:
+                for name in (counts, answers):
+                    database.drop_relation(name)
+                raise EvaluationError(
+                    f"counting does not terminate: relation {form.up!r} is "
+                    "cyclic below the query constant"
+                )
+        max_level = level
+        up_span.set("levels", max_level)
 
     # Phase 2 — flat across, then count down.
     down_iterations = 0
-    if form.down is None:
-        # Ancestor form (up == flat, down == identity): the answers are
-        # exactly the nodes counted at level >= 1.
-        database.execute(
-            f"INSERT OR IGNORE INTO {answers} "
-            f"SELECT 0, c1 FROM {counts} WHERE c0 > 0"
-        )
-    else:
-        database.execute(
-            f"INSERT OR IGNORE INTO {answers} "
-            f"SELECT c.c0, f.c1 FROM {counts} AS c, {flat_table} AS f "
-            f"WHERE f.c0 = c.c1"
-        )
-        down_table = quote_identifier(table_of[form.down])
-        for current in range(max_level, 0, -1):
-            down_iterations += 1
+    with tracer.span("count_down", category="counting") as down_span:
+        if form.down is None:
+            # Ancestor form (up == flat, down == identity): the answers are
+            # exactly the nodes counted at level >= 1.
             database.execute(
                 f"INSERT OR IGNORE INTO {answers} "
-                f"SELECT ? - 1, d.c1 FROM {answers} AS a, {down_table} AS d "
-                f"WHERE a.c0 = ? AND d.c0 = a.c1",
-                (current, current),
+                f"SELECT 0, c1 FROM {counts} WHERE c0 > 0"
             )
+        else:
+            database.execute(
+                f"INSERT OR IGNORE INTO {answers} "
+                f"SELECT c.c0, f.c1 FROM {counts} AS c, {flat_table} AS f "
+                f"WHERE f.c0 = c.c1"
+            )
+            down_table = quote_identifier(table_of[form.down])
+            for current in range(max_level, 0, -1):
+                down_iterations += 1
+                database.execute(
+                    f"INSERT OR IGNORE INTO {answers} "
+                    f"SELECT ? - 1, d.c1 FROM {answers} AS a, {down_table} AS d "
+                    f"WHERE a.c0 = ? AND d.c0 = a.c1",
+                    (current, current),
+                )
+        down_span.set("iterations", down_iterations)
 
     rows = {
         (value,)

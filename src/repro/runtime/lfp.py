@@ -61,6 +61,7 @@ def evaluate_clique_lfp_operator(
     """
     predicates = sorted(clique.predicates)
     database = context.database
+    tracer = context.tracer
 
     # The operator manages its own result relations (keyed), registered with
     # the context so downstream nodes and the answer join can read them.
@@ -124,10 +125,17 @@ def evaluate_clique_lfp_operator(
         return produced
 
     # Seed iteration: context seeds (already in the deltas) plus exit rules.
-    for clause, select in compiled_exit:
-        tables = [context.table_of(p) for p in select.table_slots]
-        insert_select(clause.head_predicate, select.render(tables), select.parameters)
-    produced = fold_deltas()
+    with tracer.span("iteration", category="iteration", iteration=1) as it_span:
+        for clause, select in compiled_exit:
+            tables = [context.table_of(p) for p in select.table_slots]
+            insert_select(clause.head_predicate, select.render(tables), select.parameters)
+        produced = fold_deltas()
+        it_span.set("delta_tuples", produced)
+        if tracer.enabled:
+            tracer.metrics.histogram(
+                "lfp.delta_tuples", (1, 10, 100, 1000, 10000)
+            ).observe(produced)
+            tracer.metrics.counter("lfp.iterations").inc()
 
     iterations = 1
     while produced:
@@ -136,7 +144,9 @@ def evaluate_clique_lfp_operator(
                 "lfp_operator", clique, naive.MAX_ITERATIONS
             )
         iterations += 1
-        with context.iteration_scope():
+        with tracer.span(
+            "iteration", category="iteration", iteration=iterations
+        ) as it_span, context.iteration_scope():
             for clause, select in compiled_recursive:
                 for index, predicate in enumerate(select.positive_predicates):
                     if predicate not in clique.predicates:
@@ -149,6 +159,12 @@ def evaluate_clique_lfp_operator(
                         clause.head_predicate, select.render(tables), select.parameters
                     )
             produced = fold_deltas()
+            it_span.set("delta_tuples", produced)
+            if tracer.enabled:
+                tracer.metrics.histogram(
+                    "lfp.delta_tuples", (1, 10, 100, 1000, 10000)
+                ).observe(produced)
+                tracer.metrics.counter("lfp.iterations").inc()
 
     for predicate in predicates:
         database.drop_relation(delta[predicate])

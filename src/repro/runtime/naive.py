@@ -76,6 +76,7 @@ def evaluate_clique_naive(context: EvaluationContext, clique: Clique) -> LfpResu
     predicates = sorted(clique.predicates)
     database = context.database
     fastpath = context.fastpath
+    tracer = context.tracer
 
     compiled = [(c, compile_rule_body(c)) for c in clique.rules]
 
@@ -103,7 +104,9 @@ def evaluate_clique_naive(context: EvaluationContext, clique: Clique) -> LfpResu
         if iterations >= MAX_ITERATIONS:
             raise non_convergence_error("naive", clique, MAX_ITERATIONS)
         iterations += 1
-        with context.iteration_scope():
+        with tracer.span(
+            "iteration", category="iteration", iteration=iterations
+        ) as it_span, context.iteration_scope():
             with database.phase(PHASE_TEMP_TABLES):
                 for predicate in predicates:
                     if fastpath.reuse_scratch_tables:
@@ -139,6 +142,7 @@ def evaluate_clique_naive(context: EvaluationContext, clique: Clique) -> LfpResu
             # Termination: has any relation gained a tuple?  The SQL interface
             # forces a full set difference per predicate.
             changed = False
+            new_tuples = 0
             with database.phase(PHASE_TERMINATION):
                 for predicate in predicates:
                     difference = difference_sql(
@@ -146,8 +150,17 @@ def evaluate_clique_naive(context: EvaluationContext, clique: Clique) -> LfpResu
                         context.table_of(predicate),
                         len(context.types_of(predicate)),
                     )
-                    if database.execute(difference):
+                    rows = database.execute(difference)
+                    if rows:
                         changed = True
+                        new_tuples += len(rows)
+            if tracer.enabled:
+                # The set-difference rows *are* this iteration's delta.
+                it_span.set("delta_tuples", new_tuples)
+                tracer.metrics.histogram(
+                    "lfp.delta_tuples", (1, 10, 100, 1000, 10000)
+                ).observe(new_tuples)
+                tracer.metrics.counter("lfp.iterations").inc()
 
             # Copy the scratch relations into the results and drop them — the
             # per-iteration table copying the paper's conclusion 6a targets.

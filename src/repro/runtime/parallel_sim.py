@@ -24,11 +24,18 @@ conclusions it supports are conservative.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Union
 
 import heapq
 
 from ..dbms.engine import StatementEvent
+from ..obs.trace import StatementRecord, Tracer
 from .context import PHASE_RHS_EVAL, PHASE_TEMP_TABLES, PHASE_TERMINATION
+
+# The simulator only reads ``.phase`` and ``.seconds``, so it accepts both
+# the Statistics trace (StatementEvent) and the observability layer's
+# per-statement records (StatementRecord) interchangeably.
+TraceEvent = Union[StatementEvent, StatementRecord]
 
 
 @dataclass(frozen=True)
@@ -69,7 +76,7 @@ def _lpt_makespan(durations: list[float], workers: int) -> float:
 
 
 def simulate_parallel_lfp(
-    trace: list[StatementEvent], workers: int
+    trace: Sequence[TraceEvent], workers: int
 ) -> SimulatedSchedule:
     """Replay ``trace`` with the RHS statements of each batch parallelised.
 
@@ -106,13 +113,18 @@ def simulate_parallel_lfp(
 
 
 def sweep_workers(
-    trace: list[StatementEvent], worker_counts: tuple[int, ...] = (1, 2, 4, 8, 16)
+    trace: Sequence[TraceEvent], worker_counts: tuple[int, ...] = (1, 2, 4, 8, 16)
 ) -> list[SimulatedSchedule]:
     """Simulate the trace across several degrees of parallelism."""
     return [simulate_parallel_lfp(trace, k) for k in worker_counts]
 
 
-def lfp_phase_events(trace: list[StatementEvent]) -> list[StatementEvent]:
+def lfp_phase_events(trace: Sequence[TraceEvent]) -> list[TraceEvent]:
     """Only the events of the three LFP phases (drops setup/answer noise)."""
     wanted = (PHASE_RHS_EVAL, PHASE_TEMP_TABLES, PHASE_TERMINATION)
     return [e for e in trace if e.phase in wanted]
+
+
+def simulate_from_tracer(tracer: Tracer, workers: int) -> SimulatedSchedule:
+    """Replay the statement stream a :class:`~repro.obs.Tracer` collected."""
+    return simulate_parallel_lfp(tracer.statements, workers)

@@ -23,6 +23,7 @@ from ..dbms.catalog import ExtensionalCatalog, fact_table_name
 from ..dbms.engine import Database
 from ..dbms.sqlgen import compile_rule_body
 from ..errors import EvaluationError
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .context import EvaluationContext, FastPathConfig
 from .lfp import evaluate_clique_lfp_operator
 from .naive import LfpResult, evaluate_clique_naive
@@ -96,13 +97,16 @@ class QueryProgram:
         database: Database,
         catalog: ExtensionalCatalog,
         fastpath: FastPathConfig | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> ExecutionResult:
         """Run the program bottom-up and return the answer tuples.
 
         ``fastpath`` switches on the fast-path execution layer (iteration
         batching, scratch-table reuse, index advice) for the LFP loops;
-        ``None`` keeps the paper-faithful slow path.
+        ``None`` keeps the paper-faithful slow path.  ``tracer`` threads the
+        observability sink through to the evaluation strategies.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         table_of = {}
         for predicate in self.base_predicates:
             if not catalog.has_relation(predicate):
@@ -111,7 +115,7 @@ class QueryProgram:
                 )
             table_of[predicate] = fact_table_name(predicate)
         context = EvaluationContext(
-            database, table_of, self.types, self.seed_facts, fastpath
+            database, table_of, self.types, self.seed_facts, fastpath, tracer
         )
 
         evaluate_clique = _CLIQUE_EVALUATORS[self.strategy]
@@ -127,15 +131,21 @@ class QueryProgram:
             node_seconds: dict[str, float] = {}
             for node in self.order:
                 label = "+".join(sorted(node.predicates))
-                started = time.perf_counter()
-                if isinstance(node, Clique):
-                    lfp_results.append(evaluate_clique(context, node))
-                elif isinstance(node, PredicateNode):
-                    evaluate_nonrecursive(context, node.predicate, node.rules)
-                else:  # pragma: no cover - the node union is closed
-                    raise EvaluationError(f"unknown evaluation node {node!r}")
-                node_seconds[label] = time.perf_counter() - started
-            rows = self._answer_rows(context)
+                is_clique = isinstance(node, Clique)
+                with tracer.span(
+                    f"clique:{label}" if is_clique else f"node:{label}",
+                    category="clique" if is_clique else "node",
+                ):
+                    started = time.perf_counter()
+                    if is_clique:
+                        lfp_results.append(evaluate_clique(context, node))
+                    elif isinstance(node, PredicateNode):
+                        evaluate_nonrecursive(context, node.predicate, node.rules)
+                    else:  # pragma: no cover - the node union is closed
+                        raise EvaluationError(f"unknown evaluation node {node!r}")
+                    node_seconds[label] = time.perf_counter() - started
+            with tracer.span("answer", category="answer"):
+                rows = self._answer_rows(context)
         finally:
             context.cleanup()
         return ExecutionResult(

@@ -34,6 +34,21 @@ from .naive import LfpResult, non_convergence_error
 MAX_ITERATIONS = naive.MAX_ITERATIONS
 
 
+def _delta_cardinality(context: EvaluationContext, tables: list[str]) -> int:
+    """Total rows across delta relations, via the *uncounted* observe path.
+
+    Only called when tracing is enabled; must not disturb the measured
+    statement stream, so it bypasses ``Database.execute`` entirely.
+    """
+    total = 0
+    for name in tables:
+        rows = context.database.observe(
+            f"SELECT COUNT(*) FROM {quote_identifier(name)}"
+        )
+        total += int(rows[0][0])
+    return total
+
+
 def _any_delta_tuples_sql(delta_tables: list[str]) -> str:
     """One EXISTS-style probe over every delta relation.
 
@@ -60,6 +75,7 @@ def evaluate_clique_seminaive(
     predicates = sorted(clique.predicates)
     database = context.database
     fastpath = context.fastpath
+    tracer = context.tracer
 
     exit_selects = [(c, compile_rule_body(c)) for c in clique.exit_rules]
     recursive = [(c, compile_rule_body(c)) for c in clique.recursive_rules]
@@ -94,24 +110,32 @@ def evaluate_clique_seminaive(
                 )
                 spare[predicate] = partner
 
-    with database.phase(PHASE_RHS_EVAL):
-        for clause, select in exit_selects:
-            tables = [context.table_of(p) for p in select.table_slots]
-            sql = insert_new_tuples_sql(
-                context.table_of(clause.head_predicate),
-                select.render(tables),
-                clause.head.arity,
-            )
-            database.execute(sql, select.parameters)
-    with database.phase(PHASE_TEMP_TABLES):
-        for predicate in predicates:
-            database.execute(
-                copy_sql(
-                    delta[predicate],
-                    context.table_of(predicate),
-                    len(context.types_of(predicate)),
+    with tracer.span("iteration", category="iteration", iteration=1) as it_span:
+        with database.phase(PHASE_RHS_EVAL):
+            for clause, select in exit_selects:
+                tables = [context.table_of(p) for p in select.table_slots]
+                sql = insert_new_tuples_sql(
+                    context.table_of(clause.head_predicate),
+                    select.render(tables),
+                    clause.head.arity,
                 )
+                database.execute(sql, select.parameters)
+        with database.phase(PHASE_TEMP_TABLES):
+            for predicate in predicates:
+                database.execute(
+                    copy_sql(
+                        delta[predicate],
+                        context.table_of(predicate),
+                        len(context.types_of(predicate)),
+                    )
+                )
+        if tracer.enabled:
+            cardinality = _delta_cardinality(context, [delta[p] for p in predicates])
+            it_span.set("delta_tuples", cardinality)
+            tracer.metrics.histogram("lfp.delta_tuples", (1, 10, 100, 1000, 10000)).observe(
+                cardinality
             )
+            tracer.metrics.counter("lfp.iterations").inc()
 
     iterations = 1  # the exit-rule pass counts as the first iteration
     while True:
@@ -126,7 +150,9 @@ def evaluate_clique_seminaive(
             )
         iterations += 1
 
-        with context.iteration_scope():
+        with tracer.span(
+            "iteration", category="iteration", iteration=iterations
+        ) as it_span, context.iteration_scope():
             new_delta: dict[str, str] = {}
             with database.phase(PHASE_TEMP_TABLES):
                 for predicate in predicates:
@@ -173,6 +199,17 @@ def evaluate_clique_seminaive(
                         f'DELETE FROM "{new_delta[predicate]}" WHERE ({columns}) IN '
                         f'(SELECT {columns} FROM "{context.table_of(predicate)}")'
                     )
+            if tracer.enabled:
+                # After the strip, the new delta holds exactly this
+                # iteration's genuinely new tuples.
+                cardinality = _delta_cardinality(
+                    context, [new_delta[p] for p in predicates]
+                )
+                it_span.set("delta_tuples", cardinality)
+                tracer.metrics.histogram(
+                    "lfp.delta_tuples", (1, 10, 100, 1000, 10000)
+                ).observe(cardinality)
+                tracer.metrics.counter("lfp.iterations").inc()
             with database.phase(PHASE_TEMP_TABLES):
                 for predicate in predicates:
                     database.execute(

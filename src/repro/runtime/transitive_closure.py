@@ -17,6 +17,7 @@ from typing import Hashable, Iterable
 
 from ..dbms.engine import Database
 from ..dbms.schema import quote_identifier
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 
 
 def transitive_closure_sql(
@@ -24,6 +25,7 @@ def transitive_closure_sql(
     edge_table: str,
     target_table: str,
     source_value: object | None = None,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> int:
     """Materialise the transitive closure of a binary relation via SQL.
 
@@ -34,10 +36,26 @@ def transitive_closure_sql(
         source_value: when given, restrict to pairs reachable from this
             source — the goal-directed variant a magic-sets rewrite would
             produce.
+        tracer: optional observability sink; the operator becomes one span.
 
     Returns:
         Number of closure tuples produced.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span(
+        "transitive_closure", category="operator", edges=edge_table
+    ) as span:
+        count = _closure_into(database, edge_table, target_table, source_value)
+        span.set("tuples", count)
+    return count
+
+
+def _closure_into(
+    database: Database,
+    edge_table: str,
+    target_table: str,
+    source_value: object | None,
+) -> int:
     database.drop_relation(target_table)
     edges = quote_identifier(edge_table)
     target = quote_identifier(target_table)

@@ -22,6 +22,7 @@ from typing import Callable
 from ..analysis import Severity
 from ..errors import TestbedError
 from ..km.session import QueryResult, Testbed
+from ..obs.export import render_span_tree
 from ..runtime.program import LfpStrategy
 
 HELP_TEXT = """\
@@ -46,6 +47,8 @@ queries ('?- anc(a, X).'), or commands:
   :check                run the static analyzer and the integrity constraints
   :lint [QUERY]         statically analyze the rule base (all findings)
   :timing [on|off]      show or toggle timing output
+  :trace [on|off]       toggle tracing, or show the last query's span tree
+  :stats                show the tracer's metric snapshot
   :clear                clear the workspace
   :quit                 leave the session"""
 
@@ -89,6 +92,8 @@ class CommandInterpreter:
             "check": self._cmd_check,
             "lint": self._cmd_lint,
             "timing": self._cmd_timing,
+            "trace": self._cmd_trace,
+            "stats": self._cmd_stats,
             "clear": self._cmd_clear,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
@@ -346,6 +351,29 @@ class CommandInterpreter:
         else:
             self.state.timing = not self.state.timing
         return f"timing {'on' if self.state.timing else 'off'}"
+
+    def _cmd_trace(self, argument: str) -> str:
+        choice = argument.lower()
+        if choice == "on":
+            self.testbed.enable_tracing()
+            return "tracing on"
+        if choice == "off":
+            self.testbed.disable_tracing()
+            return "tracing off"
+        if argument:
+            return "usage: :trace [on|off]"
+        if self.testbed.tracer is None:
+            return "tracing is off (enable with :trace on)"
+        span = self.testbed.last_query_span
+        if span is None:
+            return "no traced query yet"
+        return render_span_tree(span)
+
+    def _cmd_stats(self, __: str) -> str:
+        tracer = self.testbed.tracer
+        if tracer is None:
+            return "tracing is off (enable with :trace on)"
+        return tracer.metrics.render()
 
     def _cmd_clear(self, __: str) -> str:
         self.testbed.clear_workspace()

@@ -11,6 +11,7 @@ import argparse
 import sys
 from typing import IO
 
+from ..km.config import TestbedConfig
 from ..km.session import Testbed
 from .commands import CONTINUATION_PROMPT, PROMPT, CommandInterpreter
 
@@ -75,11 +76,19 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         help="read clauses from FILE before the session starts",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="start with structured tracing enabled (see :trace / :stats)",
+    )
     arguments = parser.parse_args(argv)
 
     with Testbed(
-        arguments.database,
-        compiled_rule_storage=not arguments.source_only,
+        TestbedConfig(
+            path=arguments.database,
+            compiled_rule_storage=not arguments.source_only,
+            trace=arguments.trace,
+        )
     ) as testbed:
         for path in arguments.load:
             with open(path) as handle:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.datalog.pcg import PredicateConnectionGraph
+from repro.km.config import TestbedConfig
 from repro.km.session import Testbed
 from repro.errors import UpdateError
 
@@ -100,7 +101,7 @@ class TestUpdate:
 
 class TestSourceOnlyMode:
     def test_no_closure_written(self):
-        tb = Testbed(compiled_rule_storage=False)
+        tb = Testbed(TestbedConfig(compiled_rule_storage=False))
         tb.define_base_relation("e", ("TEXT", "TEXT"))
         tb.workspace.define("p(X, Y) :- e(X, Y).")
         result = tb.update_stored_dkb()
@@ -109,7 +110,7 @@ class TestSourceOnlyMode:
         tb.close()
 
     def test_still_queryable(self):
-        tb = Testbed(compiled_rule_storage=False)
+        tb = Testbed(TestbedConfig(compiled_rule_storage=False))
         tb.define_base_relation("e", ("TEXT", "TEXT"))
         tb.workspace.define(
             "anc(X, Y) :- e(X, Y). anc(X, Y) :- e(X, Z), anc(Z, Y)."
@@ -120,7 +121,7 @@ class TestSourceOnlyMode:
         tb.close()
 
     def test_update_of_rule_referencing_stored_predicate(self):
-        tb = Testbed(compiled_rule_storage=False)
+        tb = Testbed(TestbedConfig(compiled_rule_storage=False))
         tb.define_base_relation("e", ("TEXT", "TEXT"))
         tb.workspace.define("q(X, Y) :- e(X, Y).")
         tb.update_stored_dkb()

@@ -1,0 +1,70 @@
+"""Tracing must not perturb the counted statement stream.
+
+Two identical sessions run the same workload — one untraced, one traced —
+with ``Database.execute``/``executemany`` wrapped to log every SQL text the
+testbed issues.  The sequences must match exactly: the tracer's own reads
+(EXPLAIN QUERY PLAN, delta-cardinality probes) go through the uncounted
+``Database.observe`` path and never appear in either log.
+"""
+
+import re
+
+from repro import Testbed, TestbedConfig
+from repro.workloads.queries import (
+    ANCESTOR_RULES,
+    ancestor_query,
+    load_parent_relation,
+)
+from repro.workloads.relations import full_binary_trees, tree_node
+
+
+def install_statement_log(testbed):
+    log = []
+    original_execute = testbed.database.execute
+    original_executemany = testbed.database.executemany
+
+    def execute(sql, parameters=()):
+        log.append(sql)
+        return original_execute(sql, parameters)
+
+    def executemany(sql, rows):
+        log.append(sql)
+        return original_executemany(sql, rows)
+
+    testbed.database.execute = execute
+    testbed.database.executemany = executemany
+    return log
+
+
+def run_workload(config):
+    with Testbed(config) as testbed:
+        log = install_statement_log(testbed)
+        testbed.define(ANCESTOR_RULES)
+        load_parent_relation(testbed, full_binary_trees(1, 4))
+        result = testbed.query(ancestor_query(tree_node("t", 1)))
+        return log, sorted(result.rows), testbed.tracer
+
+
+def normalize(log):
+    """Mask the process-global gensym counter in scratch-table names.
+
+    Delta tables are numbered by a counter shared across sessions in one
+    process, so the *numbers* differ between the two runs even though the
+    statement sequences are structurally identical.
+    """
+    return [re.sub(r'(delta_\w+?_)\d+(?!\w)', r"\1N", sql) for sql in log]
+
+
+def test_traced_run_issues_identical_statement_sequence():
+    plain_log, plain_rows, _ = run_workload(TestbedConfig())
+    traced_log, traced_rows, tracer = run_workload(TestbedConfig(trace=True))
+
+    assert traced_rows == plain_rows
+    assert normalize(traced_log) == normalize(plain_log)
+
+    # The tracer's probes stayed on the uncounted observe path.
+    assert not any("EXPLAIN" in sql.upper() for sql in traced_log)
+    # And the tracer saw exactly the statements the database counted.
+    assert [record.sql for record in tracer.statements] == traced_log
+    # ... while still having captured plans through the side channel.
+    assert tracer.plans is not None and len(tracer.plans) > 0

@@ -1,0 +1,67 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(55.5)
+        # bucket_counts has one overflow slot past the last bound.
+        assert list(histogram.bucket_counts) == [1, 1, 1]
+        assert histogram.mean == pytest.approx(55.5 / 3)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat", bounds=(0.1,)).observe(0.05)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hits": 3}
+        assert snapshot["gauges"] == {"depth": 2.0}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        assert snapshot["histograms"]["lat"]["sum"] == pytest.approx(0.05)
+
+    def test_render_includes_cache_hit_rate(self):
+        registry = MetricsRegistry()
+        registry.counter("dbms.statement_cache.hits").inc(3)
+        registry.counter("dbms.statement_cache.misses").inc(1)
+        text = registry.render()
+        assert "dbms.statement_cache.hit_rate" in text
+        assert "75.0%" in text
+
+    def test_render_without_counters_is_stable(self):
+        assert "(no metrics recorded)" in MetricsRegistry().render()

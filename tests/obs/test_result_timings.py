@@ -1,0 +1,81 @@
+"""The unified result-object timing contract.
+
+Query, update, and maintenance results all expose ``.timings`` (a
+phase -> seconds mapping whose values sum to the total) and
+``.total_seconds``; the old per-result properties survive as delegates.
+"""
+
+import pytest
+
+from repro import Testbed, TestbedConfig
+from repro.km.update import UpdateTimings
+
+
+@pytest.fixture()
+def testbed():
+    with Testbed(TestbedConfig()) as instance:
+        instance.define(
+            """
+            parent(ann, bob).
+            parent(bob, cal).
+            ancestor(X, Y) :- parent(X, Y).
+            ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+            """
+        )
+        yield instance
+
+
+class TestQueryResultTimings:
+    def test_timings_cover_compile_phases_plus_execute(self, testbed):
+        result = testbed.query("?- ancestor(ann, X).")
+        assert "execute" in result.timings
+        assert set(result.timings) > {"execute"}  # compile components too
+        assert result.total_seconds == pytest.approx(sum(result.timings.values()))
+        assert result.compile_seconds == pytest.approx(
+            result.total_seconds - result.execution_seconds
+        )
+        assert result.timings["execute"] == result.execution_seconds
+
+    def test_view_answered_query_has_execute_only(self, testbed):
+        testbed.update_stored_dkb()
+        testbed.materialize("ancestor")
+        result = testbed.query("?- ancestor(ann, X).")
+        assert result.answered_from_view
+        assert result.compilation is None
+        assert set(result.timings) == {"execute"}
+        assert result.compile_seconds == 0.0
+        assert result.total_seconds == result.execution_seconds
+
+
+class TestUpdateResultTimings:
+    def test_update_timings_is_a_mapping(self, testbed):
+        result = testbed.update_stored_dkb()
+        timings = result.timings
+        assert isinstance(timings, UpdateTimings)
+        assert set(timings) == {"extract", "closure", "typecheck", "lint", "store"}
+        assert "total" not in timings
+        assert sum(timings.values()) == pytest.approx(timings.total)
+        assert result.total_seconds == timings.total
+        assert timings["store"] == timings.store
+
+
+class TestMaintenanceResultTimings:
+    def test_maintenance_timings_name_the_strategy(self, testbed):
+        testbed.update_stored_dkb()
+        testbed.materialize("ancestor")
+        testbed.load_facts("parent", [("cal", "dee")])
+        event = testbed.maintenance_log[-1]
+        assert event.timings == {event.strategy: event.seconds}
+        assert event.total_seconds == event.seconds
+        assert sum(event.timings.values()) == pytest.approx(event.total_seconds)
+
+
+class TestCompilationTimingsMapping:
+    def test_components_sum_to_total(self, testbed):
+        compilation = testbed.compile_query("?- ancestor(ann, X).")
+        timings = compilation.timings
+        assert "total" not in dict(timings.components())
+        assert sum(timings.values()) == pytest.approx(timings.total)
+        assert timings["semantic"] == timings.semantic
+        with pytest.raises(KeyError):
+            timings["total"]

@@ -1,0 +1,68 @@
+"""The consolidated TestbedConfig API and the deprecated keyword form."""
+
+import pytest
+
+from repro import Testbed, TestbedConfig
+from repro.dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE
+from repro.maintenance.dred import MaintenancePolicy
+
+
+class TestConfigForm:
+    def test_defaults(self):
+        config = TestbedConfig()
+        assert config.path == ":memory:"
+        assert config.compiled_rule_storage is True
+        assert config.fastpath is None
+        assert config.statement_cache_size == DEFAULT_STATEMENT_CACHE_SIZE
+        assert isinstance(config.maintenance_policy, MaintenancePolicy)
+        assert config.trace is False
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            TestbedConfig().trace = True  # type: ignore[misc]
+
+    def test_testbed_accepts_config(self):
+        with Testbed(TestbedConfig(statement_cache_size=0)) as testbed:
+            assert testbed.config.statement_cache_size == 0
+            assert testbed.database.statement_cache is None
+            assert testbed.tracer is None
+            testbed.define("parent(ann, bob).")
+            assert len(testbed.query("?- parent(ann, X).").rows) == 1
+
+    def test_config_trace_enables_tracer(self):
+        with Testbed(TestbedConfig(trace=True)) as testbed:
+            assert testbed.tracer is not None
+            assert testbed.tracer.enabled
+            assert testbed.database.tracer is testbed.tracer
+
+    def test_positional_path_string_does_not_warn(self, tmp_path):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with Testbed(str(tmp_path / "db.sqlite")) as testbed:
+                assert testbed.config.path.endswith("db.sqlite")
+
+
+class TestLegacyKeywordForm:
+    def test_legacy_keywords_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="Testbed keyword configuration"):
+            testbed = Testbed(compiled_rule_storage=False, statement_cache_size=0)
+        with testbed:
+            assert testbed.config.compiled_rule_storage is False
+            assert testbed.config.statement_cache_size == 0
+            testbed.define("parent(ann, bob).")
+            assert len(testbed.query("?- parent(ann, X).").rows) == 1
+
+    def test_legacy_path_keyword_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="Testbed keyword configuration"):
+            testbed = Testbed(path=str(tmp_path / "db.sqlite"))
+        testbed.close()
+
+    def test_mixing_config_and_keywords_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            Testbed(TestbedConfig(), statement_cache_size=0)
+
+    def test_unknown_keyword_raises(self):
+        with pytest.raises(TypeError, match="unknown Testbed keyword"):
+            Testbed(compiled_rules=True)

@@ -1,0 +1,184 @@
+"""Unit tests for the span tracer: nesting, attribution, the null tracer."""
+
+from repro.dbms.engine import Database
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, StatementRecord, Tracer
+
+
+def record(sql="SELECT 1", kind="SELECT", seconds=0.001, **overrides):
+    fields = dict(phase="test", sql=sql, kind=kind, seconds=seconds)
+    fields.update(overrides)
+    return StatementRecord(**fields)
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("query") as query:
+            with tracer.span("compile") as compile_span:
+                with tracer.span("parse"):
+                    pass
+            with tracer.span("execute"):
+                pass
+        assert tracer.roots == [query]
+        assert [child.name for child in query.children] == ["compile", "execute"]
+        assert [child.name for child in compile_span.children] == ["parse"]
+        assert tracer.last_root is query
+        assert tracer.current_span is None
+
+    def test_span_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("clique", category="lfp", predicate="ancestor") as span:
+            span.set("iterations", 4)
+        assert span.category == "lfp"
+        assert span.attributes == {"predicate": "ancestor", "iterations": 4}
+
+    def test_span_path_reflects_open_stack(self):
+        tracer = Tracer()
+        assert tracer.span_path() == ""
+        with tracer.span("query"):
+            with tracer.span("compile"):
+                assert tracer.span_path() == "query/compile"
+
+    def test_durations_are_closed_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.end is not None and inner.end is not None
+        assert inner.start >= outer.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration
+
+    def test_iter_spans_is_depth_first_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = [span.name for span in tracer.roots[0].iter_spans()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.roots[0].end is not None
+        assert tracer.current_span is None
+
+
+class TestStatementAttribution:
+    def test_statement_counts_go_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("query") as query:
+            tracer.on_statement(record(seconds=0.5))
+            with tracer.span("execute") as execute:
+                tracer.on_statement(record(seconds=0.25))
+                tracer.on_statement(record(seconds=0.25))
+        assert query.statements == 1
+        assert execute.statements == 2
+        assert execute.statement_seconds == 0.5
+        # Summing direct counts over the tree gives the total.
+        assert sum(s.statements for s in query.iter_spans()) == 3
+
+    def test_ambient_span_catches_statements_outside_any_span(self):
+        tracer = Tracer()
+        tracer.on_statement(record())
+        tracer.on_statement(record())
+        assert len(tracer.roots) == 1
+        ambient = tracer.roots[0]
+        assert ambient.name == "(ambient)"
+        assert ambient.statements == 2
+        assert ambient.end is not None and ambient.end >= ambient.start
+
+    def test_keep_statements_flag(self):
+        keeping = Tracer()
+        keeping.on_statement(record())
+        assert len(keeping.statements) == 1
+
+        dropping = Tracer(keep_statements=False)
+        dropping.on_statement(record())
+        assert dropping.statements == []
+        assert dropping.roots[0].statements == 1  # still counted
+
+    def test_metrics_updated_from_statement_stream(self):
+        tracer = Tracer()
+        tracer.on_statement(record(kind="SELECT", rows_fetched=7, cache_hit=True))
+        tracer.on_statement(record(kind="INSERT", rows_changed=3, cache_hit=False))
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["dbms.statements"] == 2
+        assert counters["dbms.statements.select"] == 1
+        assert counters["dbms.statements.insert"] == 1
+        assert counters["dbms.rows_fetched"] == 7
+        assert counters["dbms.rows_changed"] == 3
+        assert counters["dbms.statement_cache.hits"] == 1
+        assert counters["dbms.statement_cache.misses"] == 1
+        assert tracer.metrics.snapshot()["histograms"]["dbms.statement_seconds"][
+            "count"
+        ] == 2
+
+    def test_plan_capture_through_real_database(self):
+        tracer = Tracer()
+        with Database(":memory:") as database:
+            database.set_tracer(tracer)
+            database.execute("CREATE TABLE t (x INTEGER)")
+            database.execute("INSERT INTO t VALUES (1)")
+            with tracer.span("query"):
+                database.execute("SELECT x FROM t WHERE x = ?", (1,))
+        assert tracer.plans is not None
+        captured = list(tracer.plans.plans.values())
+        select_plans = [p for p in captured if p.sql.startswith("SELECT")]
+        assert select_plans, captured
+        assert select_plans[0].span == "query"
+        assert select_plans[0].detail  # EXPLAIN QUERY PLAN returned rows
+
+    def test_plan_capture_reads_are_not_counted(self):
+        tracer = Tracer()
+        with Database(":memory:") as database:
+            database.set_tracer(tracer)
+            database.execute("CREATE TABLE t (x INTEGER)")
+            database.execute("SELECT x FROM t")
+            counted = database.statistics.total.statements
+        # Only the two application statements were counted; the EXPLAIN
+        # probe went through Database.observe and left no trace.
+        assert counted == 2
+        assert len(tracer.statements) == 2
+        assert not any("EXPLAIN" in s.sql.upper() for s in tracer.statements)
+
+    def test_clear_keeps_metrics_and_plans(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            tracer.on_statement(record())
+        plans = tracer.plans
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.statements == []
+        assert tracer.current_span is None
+        assert tracer.plans is plans
+        assert tracer.metrics.snapshot()["counters"]["dbms.statements"] == 1
+
+
+class TestNullTracer:
+    def test_is_disabled_and_shares_one_context(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b", category="c", attr=1)
+        assert first is second
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("anything") as span:
+            span.set("ignored", True)
+            assert span.attributes == {}
+            assert list(span.iter_spans()) == []
+            assert span.statements == 0
+        NULL_TRACER.on_statement(record())  # no-op, no error
+
+    def test_real_spans_are_spans(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            assert isinstance(span, Span)

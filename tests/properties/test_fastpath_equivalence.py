@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import FastPathConfig, LfpStrategy, Testbed
+from repro import FastPathConfig, LfpStrategy, Testbed, TestbedConfig
 from repro.workloads.relations import (
     full_binary_trees,
     iter_descendants,
@@ -39,7 +39,7 @@ WORKLOADS = {
 
 
 def run_query(edges, strategy, fastpath, query="?- ancestor(X, Y)."):
-    tb = Testbed(fastpath=fastpath)
+    tb = Testbed(TestbedConfig(fastpath=fastpath))
     try:
         tb.define(ANCESTOR)
         tb.define_base_relation("parent", ("TEXT", "TEXT"))

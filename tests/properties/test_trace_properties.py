@@ -1,0 +1,70 @@
+"""Property tests: the span tree is well-formed for any rulegen query.
+
+Over randomly shaped synthetic rule bases (the paper's R_s / R_rs
+workload generator), a traced update + query must produce a trace where
+
+* every counted statement is attributed to exactly one span — summing the
+  per-span direct counts over the whole forest reproduces both the
+  tracer's flat statement stream and the Statistics totals; and
+* time is conserved down the tree — every span lasts at least as long as
+  the sum of its children (within scheduler jitter).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Testbed, TestbedConfig
+from repro.workloads.rulegen import make_rule_base
+
+rule_base_shapes = st.tuples(
+    st.integers(min_value=1, max_value=30),  # total rules R_s
+    st.integers(min_value=1, max_value=30),  # relevant rules R_rs
+).filter(lambda shape: shape[1] <= shape[0])
+
+# Tolerance for span-vs-children wall-clock comparisons: perf_counter is
+# monotonic and children are strictly nested, so only float rounding can
+# make the sums disagree.
+EPSILON = 1e-9
+
+
+def run_traced(total_rules, relevant_rules):
+    rule_base = make_rule_base(total_rules, relevant_rules)
+    with Testbed(TestbedConfig(trace=True)) as testbed:
+        # Schema bootstrap inside __init__ runs before the tracer is
+        # installed; reset Statistics so both sinks watch the same window.
+        testbed.database.statistics.reset()
+        for base in rule_base.base_predicates:
+            testbed.define_base_relation(base, ("TEXT", "TEXT"))
+        testbed.workspace.add_clauses(rule_base.program.rules)
+        testbed.update_stored_dkb()
+        testbed.load_facts(
+            rule_base.query_module.base_predicate,
+            [("a", "b"), ("b", "c"), ("c", "d")],
+        )
+        testbed.query(rule_base.query_text())
+        counted = testbed.database.statistics.total.statements
+        return testbed.disable_tracing(), counted
+
+
+@settings(max_examples=15, deadline=None)
+@given(rule_base_shapes)
+def test_every_statement_is_attributed_to_exactly_one_span(shape):
+    tracer, counted = run_traced(*shape)
+    spans = [span for root in tracer.roots for span in root.iter_spans()]
+    attributed = sum(span.statements for span in spans)
+    assert attributed == len(tracer.statements) == counted
+    assert sum(span.statement_seconds for span in spans) > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(rule_base_shapes)
+def test_span_duration_covers_its_children(shape):
+    tracer, _ = run_traced(*shape)
+    assert tracer.roots, "a traced run must record spans"
+    for root in tracer.roots:
+        for span in root.iter_spans():
+            assert span.end is not None, span.name
+            child_total = sum(child.duration for child in span.children)
+            assert span.duration >= child_total - EPSILON, span.name

@@ -177,3 +177,30 @@ class TestContinuation:
         interpreter.execute("parent(a, b).")
         response = interpreter.execute("anc(X, Y) :-\n    parent(X, Y).")
         assert response == "added 1 rule"
+
+
+class TestTraceCommands:
+    def test_trace_toggle_and_tree(self, interpreter):
+        loaded(interpreter)
+        assert interpreter.execute(":trace off") == "tracing off"
+        assert "off" in interpreter.execute(":trace")
+        assert interpreter.execute(":trace on") == "tracing on"
+        assert "no traced query yet" in interpreter.execute(":trace")
+        interpreter.execute("?- anc(a, X).")
+        tree = interpreter.execute(":trace")
+        assert tree.startswith("query")
+        assert "compile" in tree and "execute" in tree
+        assert interpreter.execute(":trace sideways") == "usage: :trace [on|off]"
+
+    def test_stats_requires_tracing(self, interpreter):
+        assert "tracing is off" in interpreter.execute(":stats")
+        interpreter.execute(":trace on")
+        loaded(interpreter)
+        interpreter.execute("?- anc(a, X).")
+        stats = interpreter.execute(":stats")
+        assert "dbms.statements" in stats
+
+    def test_help_lists_trace_commands(self, interpreter):
+        text = interpreter.execute(":help")
+        assert ":trace" in text
+        assert ":stats" in text

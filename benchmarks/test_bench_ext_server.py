@@ -1,0 +1,144 @@
+"""Extension bench: the concurrent query server (PR 5 tentpole).
+
+The paper's testbed serves one interactive session; this bench measures
+what the multi-session server adds on the fig-12 ancestor workload:
+
+* **Throughput scaling** — 8 closed-loop clients (20 ms think time)
+  against 1 reader session vs 8.  The interactive workload is think-time
+  dominated, so extra sessions overlap the thinking and aggregate
+  throughput must scale well past the 3x acceptance floor.
+* **Versioned result cache** — a warm (cache-hit) read of the same bound
+  query must be >= 10x faster, server-side, than the cold
+  compile + evaluate it replaces.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import (
+    format_cache_ab,
+    format_server_scaling,
+    run_cache_ab,
+    run_server_scaling,
+    write_bench_json,
+    write_trace_json,
+)
+
+# Quick mode (CI smoke): smaller tree, shorter burst, relaxed assertions —
+# the job only proves the server + loadgen harness runs end to end.
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+DEPTH = 6 if QUICK else 7
+CLIENTS = 8
+DURATION = 2.0 if QUICK else 4.0
+THINK_TIME = 0.02
+
+
+def _trace_served_query():
+    """One traced served query; returns the reader session's tracer.
+
+    The span tree (compile phases, LFP iterations, cache interaction) for
+    a query that went through the pool's snapshot-read path ships with the
+    bench reports as a CI artifact.
+    """
+    import tempfile
+
+    from repro.bench.server import _seed_dkb, ancestor_query_mix
+    from repro.server import SessionPool
+
+    with tempfile.TemporaryDirectory(prefix="repro_srv_trace_") as scratch:
+        path = os.path.join(scratch, "dkb.sqlite")
+        _seed_dkb(path, DEPTH)
+        with SessionPool(path, readers=1, trace=True) as pool:
+            with pool.reader() as session:
+                session.query(ancestor_query_mix(DEPTH, 1)[0])
+                return session.testbed.tracer
+
+
+def test_server_throughput_scaling(run_once):
+    points = run_once(
+        run_server_scaling,
+        depth=DEPTH,
+        reader_counts=(1, 8),
+        clients=CLIENTS,
+        duration=DURATION,
+        think_time=THINK_TIME,
+    )
+    print()
+    print(format_server_scaling(points))
+
+    report_dir = os.environ.get("BENCH_REPORT_DIR")
+    if report_dir:
+        write_bench_json(
+            os.path.join(report_dir, "BENCH_server_scaling.json"),
+            "server_scaling",
+            points,
+            depth=DEPTH,
+            clients=CLIENTS,
+            duration=DURATION,
+            think_time=THINK_TIME,
+            quick=QUICK,
+        )
+        write_trace_json(
+            os.path.join(report_dir, "TRACE_server.json"),
+            _trace_served_query(),
+            "server_reader_query_trace",
+            depth=DEPTH,
+            quick=QUICK,
+        )
+
+    by_readers = {p.readers: p for p in points}
+    single, many = by_readers[1], by_readers[8]
+
+    # Protocol hygiene: a loaded server must never produce malformed or
+    # failed replies — shedding is allowed, errors are not.
+    assert single.errors == 0 and many.errors == 0, points
+    assert single.requests > 0 and many.requests > 0
+
+    # The versioned result cache must carry the steady state: every client
+    # replays the same bound-query mix, so hits dominate.
+    assert many.cache_hit_fraction > 0.0, many
+
+    if QUICK:
+        # Smoke only: both configurations served traffic.
+        return
+
+    # Tentpole acceptance: 8 reader sessions sustain >= 3x the aggregate
+    # read throughput of 1 session under the same client population.
+    scaling = many.throughput_rps / single.throughput_rps
+    assert scaling >= 3.0, (
+        f"8-reader throughput only {scaling:.2f}x the 1-reader baseline "
+        f"({many.throughput_rps:.1f} vs {single.throughput_rps:.1f} rps)"
+    )
+
+
+def test_server_cache_ab(run_once):
+    point = run_once(run_cache_ab, depth=DEPTH)
+    print()
+    print(format_cache_ab(point))
+
+    report_dir = os.environ.get("BENCH_REPORT_DIR")
+    if report_dir:
+        write_bench_json(
+            os.path.join(report_dir, "BENCH_server_cache.json"),
+            "server_cache_ab",
+            [point],
+            depth=DEPTH,
+            speedup=point.speedup,
+            quick=QUICK,
+        )
+
+    assert point.hits > 0 and point.misses > 0, point
+    assert point.warm_seconds > 0.0
+
+    if QUICK:
+        # Smoke only: both paths produced timings.
+        assert point.cold_seconds > 0.0
+        return
+
+    # Tentpole acceptance: a warm hit is >= 10x faster than the cold
+    # compile + evaluate it replaces.
+    assert point.speedup >= 10.0, (
+        f"cache speedup only {point.speedup:.1f}x "
+        f"(cold {point.cold_seconds:.6f}s, warm {point.warm_seconds:.6f}s)"
+    )

@@ -22,8 +22,10 @@ Quick start::
 
 See :mod:`repro.km` for the Knowledge Manager, :mod:`repro.runtime` for the
 evaluation strategies, :mod:`repro.workloads` for the paper's synthetic
-workload generators, and :mod:`repro.bench` for the experiment harness that
-regenerates every figure and table of the paper's evaluation.
+workload generators, :mod:`repro.bench` for the experiment harness that
+regenerates every figure and table of the paper's evaluation, and
+:mod:`repro.server` for the concurrent multi-session query server
+(``python -m repro serve``).
 """
 
 from .datalog import (
@@ -52,6 +54,7 @@ from .errors import (
     UpdateError,
     WorkloadError,
 )
+from .dbms.engine import ConnectionOptions
 from .km import QueryResult, Testbed, TestbedConfig
 from .maintenance import MaintenancePolicy, MaintenanceResult
 from .obs import (
@@ -70,6 +73,7 @@ __all__ = [
     "CatalogError",
     "Clause",
     "CodeGenerationError",
+    "ConnectionOptions",
     "Constant",
     "EvaluationError",
     "FastPathConfig",

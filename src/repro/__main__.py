@@ -5,7 +5,11 @@ Subcommands:
 * ``python -m repro lint ...`` — the rule-base static analyzer
   (:mod:`repro.analysis.cli`);
 * ``python -m repro trace ...`` — trace one query and export a Chrome
-  trace (:mod:`repro.obs.cli`); everything else goes to the REPL.
+  trace (:mod:`repro.obs.cli`);
+* ``python -m repro serve ...`` — the concurrent query server
+  (:mod:`repro.server.cli`);
+* ``python -m repro bench-serve ...`` — the server benchmarks;
+  everything else goes to the REPL.
 """
 
 import sys
@@ -21,6 +25,14 @@ def main(argv: "list[str] | None" = None) -> int:
         from .obs.cli import main as trace_main
 
         return trace_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        from .server.cli import serve_main
+
+        return serve_main(arguments[1:])
+    if arguments and arguments[0] == "bench-serve":
+        from .server.cli import bench_serve_main
+
+        return bench_serve_main(arguments[1:])
     from .ui.repl import main as repl_main
 
     return repl_main(arguments)

@@ -1,0 +1,217 @@
+"""Benchmark runners for the concurrent query server.
+
+Two experiments, both over the fig-12 workload (bound ``ancestor`` queries
+on full binary trees):
+
+* **Throughput scaling** — boot the server at increasing reader-session
+  counts and drive it with a fixed closed-loop client population.  On the
+  interactive workload (clients *think* between requests) throughput
+  scales with sessions until the think time is fully overlapped — the
+  multi-session win the server exists for, and one no single-session
+  testbed run can show.
+* **Cache A/B** — the same bound query served cold (compile + evaluate)
+  versus warm (versioned result-cache hit) on one session, measuring the
+  server-side seconds of each.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..server.cache import VersionedResultCache
+from ..server.loadgen import LoadgenReport, run_loadgen
+from ..server.pool import SessionPool
+from ..server.service import DkbServer, ServerConfig
+from ..workloads.queries import ANCESTOR_RULES
+from ..workloads.relations import full_binary_trees, tree_node
+from .reporting import _table
+
+
+@dataclass(frozen=True)
+class ServerScalingPoint:
+    """One (reader sessions, client population) throughput measurement."""
+
+    readers: int
+    clients: int
+    requests: int
+    errors: int
+    busy: int
+    throughput_rps: float
+    cache_hit_fraction: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    @classmethod
+    def from_report(
+        cls, readers: int, report: LoadgenReport
+    ) -> "ServerScalingPoint":
+        return cls(
+            readers=readers,
+            clients=report.clients,
+            requests=report.requests,
+            errors=report.errors,
+            busy=report.busy,
+            throughput_rps=report.throughput,
+            cache_hit_fraction=report.cache_hit_fraction,
+            p50_ms=report.latency_ms["p50"],
+            p95_ms=report.latency_ms["p95"],
+            p99_ms=report.latency_ms["p99"],
+        )
+
+
+@dataclass(frozen=True)
+class CacheAbPoint:
+    """Cold-vs-warm timing for one served query."""
+
+    query: str
+    cold_seconds: float
+    warm_seconds: float
+    hits: int
+    misses: int
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the warm (cached) read is."""
+        return (
+            self.cold_seconds / self.warm_seconds
+            if self.warm_seconds > 0
+            else float("inf")
+        )
+
+
+def _seed_dkb(path: str, depth: int) -> None:
+    """Create the ancestor D/KB over one full binary tree of ``depth``."""
+    relation = full_binary_trees(1, depth)
+    with SessionPool(path, readers=1) as pool:
+        pool.define(ANCESTOR_RULES)
+        pool.load_facts("parent", relation.edges)
+
+
+def ancestor_query_mix(depth: int, roots: int = 5) -> list[str]:
+    """Bound ancestor queries over the first ``roots`` heap-indexed nodes."""
+    limit = max(1, min(roots, 2 ** (depth - 1) - 1))
+    return [
+        f"?- ancestor('{tree_node('t', index)}', Y)."
+        for index in range(1, limit + 1)
+    ]
+
+
+def run_server_scaling(
+    depth: int = 7,
+    reader_counts: Sequence[int] = (1, 8),
+    clients: int = 8,
+    duration: float = 4.0,
+    think_time: float = 0.02,
+    roots: int = 5,
+    cache_size: int = 256,
+    path: Optional[str] = None,
+) -> list[ServerScalingPoint]:
+    """Throughput at each reader-session count, same client population.
+
+    Each measurement boots a fresh server over the same seeded D/KB file
+    and drives it with ``clients`` closed-loop clients for ``duration``
+    seconds.
+    """
+    points: list[ServerScalingPoint] = []
+    with tempfile.TemporaryDirectory(prefix="repro_srv_") as scratch:
+        dkb_path = path or os.path.join(scratch, "dkb.sqlite")
+        _seed_dkb(dkb_path, depth)
+        queries = ancestor_query_mix(depth, roots)
+        for readers in reader_counts:
+            config = ServerConfig(
+                path=dkb_path,
+                readers=readers,
+                cache_size=cache_size,
+                session_timeout=duration + 30.0,
+            )
+            with DkbServer(config) as server:
+                host, port = server.address
+                report = run_loadgen(
+                    host,
+                    port,
+                    queries,
+                    clients=clients,
+                    duration=duration,
+                    think_time=think_time,
+                )
+            points.append(ServerScalingPoint.from_report(readers, report))
+    return points
+
+
+def run_cache_ab(
+    depth: int = 8,
+    repeats: int = 5,
+    path: Optional[str] = None,
+) -> CacheAbPoint:
+    """Median cold (compile + evaluate) vs warm (cache hit) service time.
+
+    Every repeat invalidates the cache by bumping the D/KB version with a
+    one-row insert/delete pair, so each cold sample really recomputes.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro_srv_") as scratch:
+        dkb_path = path or os.path.join(scratch, "dkb.sqlite")
+        _seed_dkb(dkb_path, depth)
+        query = ancestor_query_mix(depth, 1)[0]
+        cache = VersionedResultCache(64)
+        cold: list[float] = []
+        warm: list[float] = []
+        with SessionPool(dkb_path, readers=1, cache=cache) as pool:
+            for _ in range(repeats):
+                first = pool.query(query)
+                second = pool.query(query)
+                assert not first.cached and second.cached
+                cold.append(first.seconds)
+                warm.append(second.seconds)
+                # Invalidate: any committed write bumps the version.
+                pool.load_facts("parent", [("zz_inval", "zz_leaf")])
+                pool.delete_facts("parent", [("zz_inval", "zz_leaf")])
+            return CacheAbPoint(
+                query=query,
+                cold_seconds=statistics.median(cold),
+                warm_seconds=statistics.median(warm),
+                hits=cache.hits,
+                misses=cache.misses,
+            )
+
+
+def format_server_scaling(points: Sequence[ServerScalingPoint]) -> str:
+    """Text table of the throughput-scaling experiment."""
+    baseline = points[0].throughput_rps if points else 0.0
+    return _table(
+        [
+            "readers", "clients", "requests", "rps", "vs 1", "hit%",
+            "p50 ms", "p95 ms", "errors", "busy",
+        ],
+        [
+            (
+                p.readers,
+                p.clients,
+                p.requests,
+                f"{p.throughput_rps:.1f}",
+                f"{p.throughput_rps / baseline:.2f}x" if baseline else "-",
+                f"{p.cache_hit_fraction * 100:.0f}",
+                f"{p.p50_ms:.1f}",
+                f"{p.p95_ms:.1f}",
+                p.errors,
+                p.busy,
+            )
+            for p in points
+        ],
+    )
+
+
+def format_cache_ab(point: CacheAbPoint) -> str:
+    """Text table of the cache A/B experiment."""
+    return _table(
+        ["mode", "seconds", "speedup"],
+        [
+            ("cold (compile+evaluate)", f"{point.cold_seconds:.6f}", "1.00x"),
+            ("warm (cache hit)", f"{point.warm_seconds:.6f}",
+             f"{point.speedup:.1f}x"),
+        ],
+    )

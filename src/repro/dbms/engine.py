@@ -16,6 +16,7 @@ import contextlib
 import itertools
 import re
 import sqlite3
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -28,11 +29,65 @@ from .schema import RelationSchema, quote_identifier
 _STATEMENT_KIND_RE = re.compile(r"\s*([A-Za-z]+)")
 
 # Temporary-table names must be unique across every Database instance in the
-# process: two handles opened on the same on-disk file share the table
-# namespace, so a per-instance counter would let them collide.
+# process *and* across threads: two handles opened on the same on-disk file
+# share the table namespace, and two threads drawing names concurrently must
+# never observe the same counter value.  The lock makes the draw atomic
+# regardless of interpreter implementation details.
+_TEMP_NAME_LOCK = threading.Lock()
 _TEMP_NAME_COUNTER = itertools.count(1)
 
 DEFAULT_STATEMENT_CACHE_SIZE = 128
+
+
+@dataclass(frozen=True)
+class ConnectionOptions:
+    """How the underlying SQLite connection is opened and journalled.
+
+    The defaults reproduce the seed single-session behaviour exactly
+    (``journal_mode = MEMORY``, same-thread enforcement, permanent derived
+    relations).  The concurrent query server opens its pooled handles with
+    :meth:`writer` / :meth:`reader` instead.
+
+    Attributes:
+        wal: open the database in write-ahead-log journal mode, the mode
+            that lets one writer commit while readers hold consistent
+            snapshots.  Requires an on-disk path (``:memory:`` databases
+            have no WAL).
+        busy_timeout_ms: how long SQLite retries a locked database before
+            giving up (``PRAGMA busy_timeout``); ``0`` keeps SQLite's
+            fail-fast default.
+        check_same_thread: forwarded to :func:`sqlite3.connect`.  ``False``
+            lets a pooled handle be checked out by different threads over
+            its lifetime (each checkout still uses it from one thread at a
+            time).
+        temp_derived: create every derived/scratch relation in the
+            per-connection ``temp`` namespace instead of the shared main
+            database.  Reader sessions of the query server set this so a
+            read query physically cannot write the shared file — its
+            ``d_*`` result relations and LFP scratch tables live (and
+            shadow any same-named main-database leftovers) in connection-
+            private storage.
+    """
+
+    wal: bool = False
+    busy_timeout_ms: int = 0
+    check_same_thread: bool = True
+    temp_derived: bool = False
+
+    @classmethod
+    def writer(cls, busy_timeout_ms: int = 10_000) -> "ConnectionOptions":
+        """Options for the query server's single writer session."""
+        return cls(wal=True, busy_timeout_ms=busy_timeout_ms, check_same_thread=False)
+
+    @classmethod
+    def reader(cls, busy_timeout_ms: int = 10_000) -> "ConnectionOptions":
+        """Options for a pooled reader session (snapshot reads only)."""
+        return cls(
+            wal=True,
+            busy_timeout_ms=busy_timeout_ms,
+            check_same_thread=False,
+            temp_derived=True,
+        )
 
 
 class StatementCache:
@@ -50,11 +105,15 @@ class StatementCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._cursors: OrderedDict[str, sqlite3.Cursor] = OrderedDict()
+        # Lookup, counter update, and eviction must be one atomic step when
+        # several threads share the owning Database handle.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._cursors)
+        with self._lock:
+            return len(self._cursors)
 
     @property
     def hit_rate(self) -> float:
@@ -66,25 +125,31 @@ class StatementCache:
         self, connection: sqlite3.Connection, sql: str
     ) -> tuple[sqlite3.Cursor, bool]:
         """The cached cursor for ``sql`` (creating one), plus hit/miss."""
-        cursor = self._cursors.get(sql)
-        if cursor is not None:
-            self._cursors.move_to_end(sql)
-            self.hits += 1
-            return cursor, True
-        self.misses += 1
-        cursor = connection.cursor()
-        self._cursors[sql] = cursor
-        while len(self._cursors) > self.capacity:
-            __, evicted = self._cursors.popitem(last=False)
-            evicted.close()
+        with self._lock:
+            cursor = self._cursors.get(sql)
+            if cursor is not None:
+                self._cursors.move_to_end(sql)
+                self.hits += 1
+                return cursor, True
+            self.misses += 1
+            cursor = connection.cursor()
+            self._cursors[sql] = cursor
+            evicted: list[sqlite3.Cursor] = []
+            while len(self._cursors) > self.capacity:
+                __, victim = self._cursors.popitem(last=False)
+                evicted.append(victim)
+        for victim in evicted:
+            victim.close()
         return cursor, False
 
     def clear(self) -> None:
         """Drop every cached cursor (counters survive)."""
-        for cursor in self._cursors.values():
+        with self._lock:
+            cursors = list(self._cursors.values())
+            self._cursors.clear()
+        for cursor in cursors:
             with contextlib.suppress(sqlite3.Error):
                 cursor.close()
-        self._cursors.clear()
 
 
 @dataclass
@@ -272,6 +337,7 @@ class Database:
         self,
         path: str = ":memory:",
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
+        options: ConnectionOptions | None = None,
     ):
         """Open the database.
 
@@ -281,10 +347,27 @@ class Database:
                 cache; ``0`` disables caching (every statement re-prepares,
                 the seed behaviour the fast-path A/B benchmark compares
                 against).
+            options: connection-level knobs (journal mode, busy timeout,
+                thread affinity, private derived relations); the default
+                reproduces the seed single-session behaviour.
         """
-        self._connection = sqlite3.connect(path)
+        self.options = options if options is not None else ConnectionOptions()
+        self._connection = sqlite3.connect(
+            path, check_same_thread=self.options.check_same_thread
+        )
         self._connection.execute("PRAGMA synchronous = OFF")
-        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        if self.options.wal:
+            self._connection.execute("PRAGMA journal_mode = WAL")
+        else:
+            self._connection.execute("PRAGMA journal_mode = MEMORY")
+        if self.options.busy_timeout_ms:
+            self._connection.execute(
+                f"PRAGMA busy_timeout = {int(self.options.busy_timeout_ms)}"
+            )
+        # One statement at a time per handle: sqlite3 cursors are not
+        # re-entrant, so when a handle is shared across threads
+        # (check_same_thread=False) the execute/record step must be atomic.
+        self._execute_lock = threading.RLock()
         self.statistics = Statistics()
         self.statement_cache: StatementCache | None = (
             StatementCache(statement_cache_size) if statement_cache_size else None
@@ -335,21 +418,22 @@ class Database:
         """
         kind = self._statement_kind(sql)
         cache_hit: bool | None = None
-        started = time.perf_counter()
-        try:
-            if self.statement_cache is not None:
-                cursor, cache_hit = self.statement_cache.cursor_for(
-                    self._connection, sql
-                )
-                cursor.execute(sql, tuple(parameters))
-            else:
-                cursor = self._connection.execute(sql, tuple(parameters))
-            rows = cursor.fetchall() if cursor.description is not None else []
-        except sqlite3.Error as error:
-            raise EvaluationError(f"SQL failed: {error}\n  {sql}") from error
-        elapsed = time.perf_counter() - started
-        changed = cursor.rowcount if cursor.rowcount > 0 else 0
-        self.statistics.record(kind, elapsed, len(rows), changed, cache_hit)
+        with self._execute_lock:
+            started = time.perf_counter()
+            try:
+                if self.statement_cache is not None:
+                    cursor, cache_hit = self.statement_cache.cursor_for(
+                        self._connection, sql
+                    )
+                    cursor.execute(sql, tuple(parameters))
+                else:
+                    cursor = self._connection.execute(sql, tuple(parameters))
+                rows = cursor.fetchall() if cursor.description is not None else []
+            except sqlite3.Error as error:
+                raise EvaluationError(f"SQL failed: {error}\n  {sql}") from error
+            elapsed = time.perf_counter() - started
+            changed = cursor.rowcount if cursor.rowcount > 0 else 0
+            self.statistics.record(kind, elapsed, len(rows), changed, cache_hit)
         if self._tracer is not None:
             self._tracer.on_statement(
                 StatementRecord(
@@ -371,23 +455,24 @@ class Database:
         kind = self._statement_kind(sql)
         cache_hit: bool | None = None
         rows = list(rows)
-        started = time.perf_counter()
-        try:
-            if self.statement_cache is not None:
-                cursor, cache_hit = self.statement_cache.cursor_for(
-                    self._connection, sql
-                )
-                cursor.executemany(sql, rows)
-            else:
-                cursor = self._connection.executemany(sql, rows)
-        except sqlite3.Error as error:
-            raise EvaluationError(f"SQL failed: {error}\n  {sql}") from error
-        elapsed = time.perf_counter() - started
-        # sqlite3 reports -1 ("not applicable") for some statements; only
-        # then fall back to the submitted row count.  A genuine 0 — e.g. an
-        # UPDATE matching nothing — must stay 0.
-        changed = cursor.rowcount if cursor.rowcount >= 0 else len(rows)
-        self.statistics.record(kind, elapsed, 0, changed, cache_hit)
+        with self._execute_lock:
+            started = time.perf_counter()
+            try:
+                if self.statement_cache is not None:
+                    cursor, cache_hit = self.statement_cache.cursor_for(
+                        self._connection, sql
+                    )
+                    cursor.executemany(sql, rows)
+                else:
+                    cursor = self._connection.executemany(sql, rows)
+            except sqlite3.Error as error:
+                raise EvaluationError(f"SQL failed: {error}\n  {sql}") from error
+            elapsed = time.perf_counter() - started
+            # sqlite3 reports -1 ("not applicable") for some statements; only
+            # then fall back to the submitted row count.  A genuine 0 — e.g.
+            # an UPDATE matching nothing — must stay 0.
+            changed = cursor.rowcount if cursor.rowcount >= 0 else len(rows)
+            self.statistics.record(kind, elapsed, 0, changed, cache_hit)
         if self._tracer is not None:
             self._tracer.on_statement(
                 StatementRecord(
@@ -405,8 +490,27 @@ class Database:
         return changed
 
     def commit(self) -> None:
-        """Commit the current transaction."""
+        """Commit the current transaction.
+
+        Inside an explicit :meth:`transaction` block this is a no-op: the
+        inner operation joins the enclosing transaction, which commits (or
+        rolls back) as one unit when the block exits.  That is what lets
+        the query server apply a base-table change and its D/KB version
+        bump atomically even though the individual operations commit when
+        run stand-alone.
+        """
+        if self._in_explicit_transaction:
+            return
         self._connection.commit()
+
+    def interrupt(self) -> None:
+        """Abort any statement running on this handle (thread-safe).
+
+        The interrupted statement raises
+        :class:`~repro.errors.EvaluationError`; the query server's
+        per-request timeout uses this to cancel overrunning work.
+        """
+        self._connection.interrupt()
 
     def rollback(self) -> None:
         """Roll back the current transaction."""
@@ -448,16 +552,34 @@ class Database:
 
     # -- schema helpers -----------------------------------------------------
 
+    @property
+    def temp_only(self) -> bool:
+        """Whether this handle confines derived relations to ``temp``."""
+        return self.options.temp_derived
+
     def create_relation(
         self, schema: RelationSchema, temporary: bool = False
     ) -> None:
-        """Create a relation table for ``schema``."""
-        self.execute(schema.create_table_sql(temporary=temporary))
+        """Create a relation table for ``schema``.
+
+        On a ``temp_derived`` handle every relation is created in the
+        connection-private ``temp`` namespace regardless of ``temporary`` —
+        reader sessions never write shared tables.
+        """
+        self.execute(
+            schema.create_table_sql(temporary=temporary or self.temp_only)
+        )
 
     def drop_relation(self, name: str, if_exists: bool = True) -> None:
-        """Drop a relation table."""
+        """Drop a relation table.
+
+        On a ``temp_derived`` handle the drop is qualified to the ``temp``
+        namespace, so a reader session can never drop a shared main-database
+        table that happens to share a scratch relation's name.
+        """
         clause = "IF EXISTS " if if_exists else ""
-        self.execute(f"DROP TABLE {clause}{quote_identifier(name)}")
+        qualifier = "temp." if self.temp_only else ""
+        self.execute(f"DROP TABLE {clause}{qualifier}{quote_identifier(name)}")
 
     def table_exists(self, name: str) -> bool:
         """Whether a (permanent or temporary) table ``name`` exists."""
@@ -500,12 +622,16 @@ class Database:
         )
 
     def fresh_temp_name(self, prefix: str) -> str:
-        """A process-unique temporary table name.
+        """A process- and thread-unique temporary table name.
 
-        The counter is module-level, so two ``Database`` handles opened on
-        the same on-disk file never hand out colliding names.
+        The counter is module-level and drawn under a lock, so two
+        ``Database`` handles opened on the same on-disk file — or two
+        threads drawing names concurrently — never hand out colliding
+        names.
         """
-        return f"{prefix}_{next(_TEMP_NAME_COUNTER)}"
+        with _TEMP_NAME_LOCK:
+            counter = next(_TEMP_NAME_COUNTER)
+        return f"{prefix}_{counter}"
 
     def observe(self, sql: str, parameters: Sequence[Any] = ()) -> list[tuple]:
         """Uncounted read for the observability layer.

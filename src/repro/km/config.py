@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE
+from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE, ConnectionOptions
 from ..maintenance.dred import MaintenancePolicy
 from ..runtime.context import FastPathConfig
 
@@ -46,6 +46,11 @@ class TestbedConfig:
             be zero-cost when disabled, and enabling it here is equivalent
             to calling :meth:`~repro.km.session.Testbed.enable_tracing`
             right after construction.
+        connection: how the SQLite connection is opened
+            (:class:`~repro.dbms.engine.ConnectionOptions`).  The default
+            keeps the seed single-session behaviour; the concurrent query
+            server opens its pooled sessions with the WAL-mode
+            reader/writer presets.
     """
 
     # Not a test class, despite the name — keeps pytest collection quiet.
@@ -59,3 +64,4 @@ class TestbedConfig:
         default_factory=MaintenancePolicy
     )
     trace: bool = False
+    connection: ConnectionOptions = field(default_factory=ConnectionOptions)

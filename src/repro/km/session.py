@@ -161,7 +161,9 @@ class Testbed:
             config = TestbedConfig(**legacy)  # type: ignore[arg-type]
         self.config = config
         self.database = Database(
-            config.path, statement_cache_size=config.statement_cache_size
+            config.path,
+            statement_cache_size=config.statement_cache_size,
+            options=config.connection,
         )
         self.catalog = ExtensionalCatalog(self.database)
         self.stored = StoredDKB(

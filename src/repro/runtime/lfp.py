@@ -39,8 +39,13 @@ def _create_keyed_table(context: EvaluationContext, name: str, predicate: str) -
     types = context.types_of(predicate)
     columns = ", ".join(f"c{i} {t}" for i, t in enumerate(types))
     key = ", ".join(f"c{i}" for i in range(len(types)))
+    keyword = (
+        "CREATE TEMPORARY TABLE"
+        if context.database.temp_only
+        else "CREATE TABLE"
+    )
     context.database.execute(
-        f"CREATE TABLE {quote_identifier(name)} "
+        f"{keyword} {quote_identifier(name)} "
         f"({columns}, PRIMARY KEY ({key})) WITHOUT ROWID"
     )
 

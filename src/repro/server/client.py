@@ -1,0 +1,114 @@
+"""A blocking client for the query server's wire protocol."""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Optional
+
+from .protocol import MAX_MESSAGE_BYTES, decode_line, encode_message
+
+
+class ServerError(Exception):
+    """A structured error reply from the server."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class DkbClient:
+    """One connection to a :class:`~repro.server.service.DkbServer`.
+
+    Sends one request line, blocks for the one reply line.  Success replies
+    come back as plain dicts; error replies raise :class:`ServerError`
+    carrying the structured code.  Usable as a context manager.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "DkbClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the wire ----------------------------------------------------------
+
+    def request(self, op: str, **payload: Any) -> dict[str, Any]:
+        """Send one request and return the success reply.
+
+        Raises:
+            ServerError: the server replied with a structured error.
+            ConnectionError: the server closed the connection.
+        """
+        message = {"op": op, "id": next(self._ids)}
+        message.update({k: v for k, v in payload.items() if v is not None})
+        self._file.write(encode_message(message))
+        self._file.flush()
+        line = self._file.readline(MAX_MESSAGE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = decode_line(line)
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServerError(
+                error.get("code", "INTERNAL"), error.get("message", "")
+            )
+        return reply
+
+    # -- op helpers --------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def query(
+        self,
+        q: str,
+        bindings: Optional[dict[str, Any]] = None,
+        strategy: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        use_views: Optional[bool] = None,
+        use_cache: Optional[bool] = None,
+    ) -> dict[str, Any]:
+        return self.request(
+            "query",
+            q=q,
+            bindings=bindings,
+            strategy=strategy,
+            optimize=optimize,
+            use_views=use_views,
+            use_cache=use_cache,
+        )
+
+    def insert(self, predicate: str, rows: list) -> dict[str, Any]:
+        return self.request(
+            "update", predicate=predicate, action="insert", rows=rows
+        )
+
+    def delete(self, predicate: str, rows: list) -> dict[str, Any]:
+        return self.request(
+            "update", predicate=predicate, action="delete", rows=rows
+        )
+
+    def define(self, program: str) -> dict[str, Any]:
+        return self.request("define", program=program)
+
+    def materialize(self, predicate: str) -> dict[str, Any]:
+        return self.request("materialize", predicate=predicate)
+
+    def lint(self, q: Optional[str] = None) -> dict[str, Any]:
+        return self.request("lint", q=q)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")

@@ -1,0 +1,318 @@
+"""The concurrent query server: a threaded TCP service over a SessionPool.
+
+Connection model (the classic RDBMS connection-slot discipline): a client
+connection checks one reader session out of the pool for its whole
+lifetime, so ``readers`` bounds the number of simultaneously *connected*
+clients, and admission control (bounded wait queue + ``SERVER_BUSY``
+shedding) governs the connect path.  Requests on an admitted connection
+then run one at a time in that connection's handler thread.
+
+Updates do not consume the connection's reader session — they funnel
+through the pool's single writer under the writer lock, each bumping the
+persistent D/KB version (see :mod:`repro.server.pool`).
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Optional
+
+from ..errors import ParseError, TestbedError
+from ..obs.metrics import MetricsRegistry
+from ..runtime.context import FastPathConfig
+from ..runtime.program import LfpStrategy
+from .admission import AdmissionError
+from .cache import VersionedResultCache
+from .pool import ReaderSession, SessionPool
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_reply,
+    ok_reply,
+    validate_request,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a :class:`DkbServer` needs to boot.
+
+    Attributes:
+        path: the shared SQLite file backing the D/KB.
+        host: bind address (loopback by default — this is a testbed).
+        port: bind port; ``0`` picks an ephemeral port (see
+            :attr:`DkbServer.address` for the bound one).
+        readers: reader sessions in the pool = max concurrent connections.
+        max_waiters: connect attempts allowed to queue before shedding.
+        session_timeout: seconds a connect attempt waits for a session.
+        request_timeout: per-request evaluation budget in seconds
+            (``None`` = unbounded); enforced by interrupting the reader's
+            SQLite connection.
+        cache_size: result-cache capacity (entries); ``0`` disables the
+            cache entirely.
+        reader_fastpath: execution configuration for reader sessions.
+        trace: open pooled sessions with structured tracing enabled.
+    """
+
+    path: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    readers: int = 4
+    max_waiters: int = 16
+    session_timeout: float | None = 5.0
+    request_timeout: float | None = 30.0
+    cache_size: int = 256
+    reader_fastpath: Optional[FastPathConfig] = None
+    trace: bool = False
+
+    pool_kwargs: dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: check out a session, then serve line requests."""
+
+    server: "_TcpServer"
+
+    def handle(self) -> None:
+        dkb = self.server.dkb
+        try:
+            with dkb.pool.reader(dkb.config.session_timeout) as session:
+                dkb.metrics.counter("server.connections").inc()
+                self._serve(session)
+        except AdmissionError as error:
+            dkb.metrics.counter("server.busy").inc()
+            self._send(error_reply(None, error.code, str(error)))
+
+    def _serve(self, session: ReaderSession) -> None:
+        dkb = self.server.dkb
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                return  # the client went away mid-read: a normal ending
+            if not line:
+                return
+            if not line.strip():
+                continue
+            started = time.perf_counter()
+            request_id: Any = None
+            try:
+                message = decode_line(line)
+                request_id = message.get("id")
+                validate_request(message)
+                reply = dkb.dispatch(message, session)
+                reply["id"] = request_id
+            except ProtocolError as error:
+                reply = error_reply(request_id, error.code, error.message)
+            except AdmissionError as error:
+                reply = error_reply(request_id, error.code, str(error))
+            except ParseError as error:
+                reply = error_reply(request_id, ErrorCode.BAD_REQUEST, str(error))
+            except TestbedError as error:
+                reply = error_reply(
+                    request_id, ErrorCode.EVALUATION_ERROR, str(error)
+                )
+            except Exception as error:  # pragma: no cover - defensive
+                reply = error_reply(
+                    request_id,
+                    ErrorCode.INTERNAL,
+                    f"{type(error).__name__}: {error}",
+                )
+            dkb.metrics.counter("server.requests").inc()
+            if not reply.get("ok"):
+                dkb.metrics.counter("server.errors").inc()
+            dkb.metrics.histogram("server.request_seconds").observe(
+                time.perf_counter() - started
+            )
+            if not self._send(reply):
+                return
+
+    def _send(self, reply: dict[str, Any]) -> bool:
+        try:
+            wfile: BinaryIO = self.wfile
+            wfile.write(encode_message(reply))
+            wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    dkb: "DkbServer"
+
+
+class DkbServer:
+    """The multi-session D/KBMS service.
+
+    Owns the metrics registry, the versioned result cache, and the session
+    pool; serves the wire protocol of :mod:`repro.server.protocol` on a TCP
+    socket.  Use as a context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.cache: Optional[VersionedResultCache] = (
+            VersionedResultCache(config.cache_size, metrics=self.metrics)
+            if config.cache_size > 0
+            else None
+        )
+        self.pool = SessionPool(
+            config.path,
+            readers=config.readers,
+            max_waiters=config.max_waiters,
+            session_timeout=config.session_timeout,
+            cache=self.cache,
+            reader_fastpath=config.reader_fastpath,
+            metrics=self.metrics,
+            trace=config.trace,
+            **config.pool_kwargs,
+        )
+        self._tcp = _TcpServer((config.host, config.port), _Handler)
+        self._tcp.dkb = self
+        self._thread: Optional[threading.Thread] = None
+        self.started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real port."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "DkbServer":
+        """Serve in a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="dkb-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (for ``python -m repro serve``)."""
+        self._tcp.serve_forever(poll_interval=0.05)
+
+    def close(self) -> None:
+        """Stop accepting, join the serve thread, close the pool."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "DkbServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request dispatch --------------------------------------------------
+
+    def dispatch(
+        self, message: dict[str, Any], session: ReaderSession
+    ) -> dict[str, Any]:
+        """Serve one validated request; returns the success reply."""
+        op = message["op"]
+        request_id = message.get("id")
+        if op == "ping":
+            return ok_reply(
+                request_id,
+                pong=True,
+                protocol=PROTOCOL_VERSION,
+                version=self.pool.version(),
+            )
+        if op == "query":
+            return self._dispatch_query(message, session)
+        if op == "update":
+            return self._dispatch_update(message)
+        if op == "define":
+            added = self.pool.define(message["program"])
+            return ok_reply(request_id, added=added, version=self.pool.version())
+        if op == "materialize":
+            count = self.pool.materialize(message["predicate"])
+            return ok_reply(request_id, count=count, version=self.pool.version())
+        if op == "lint":
+            report = session.lint(message.get("q"))
+            return ok_reply(
+                request_id,
+                diagnostics=[
+                    {
+                        "code": d.code,
+                        "severity": d.severity.value,
+                        "message": d.message,
+                        "predicate": d.predicate,
+                    }
+                    for d in report.diagnostics
+                ],
+            )
+        if op == "stats":
+            return ok_reply(request_id, stats=self.stats())
+        raise ProtocolError(ErrorCode.BAD_REQUEST, f"unknown op {op!r}")
+
+    def _dispatch_query(
+        self, message: dict[str, Any], session: ReaderSession
+    ) -> dict[str, Any]:
+        strategy_name = message.get("strategy", LfpStrategy.SEMINAIVE.value)
+        try:
+            strategy = LfpStrategy(strategy_name)
+        except ValueError:
+            known = ", ".join(s.value for s in LfpStrategy)
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown strategy {strategy_name!r}; expected one of: {known}",
+            ) from None
+        result = session.query(
+            message["q"],
+            bindings=message.get("bindings"),
+            strategy=strategy,
+            optimize=message.get("optimize", False),
+            use_views=message.get("use_views", True),
+            use_cache=message.get("use_cache", True),
+            timeout=self.config.request_timeout,
+        )
+        return ok_reply(
+            message.get("id"),
+            rows=[list(row) for row in result.rows],
+            count=len(result.rows),
+            version=result.version,
+            cached=result.cached,
+            answered_from_view=result.answered_from_view,
+            seconds=result.seconds,
+        )
+
+    def _dispatch_update(self, message: dict[str, Any]) -> dict[str, Any]:
+        predicate = message["predicate"]
+        rows = [tuple(row) for row in message["rows"]]
+        if message["action"] == "insert":
+            count = self.pool.load_facts(predicate, rows)
+        else:
+            count = self.pool.delete_facts(predicate, rows)
+        return ok_reply(
+            message.get("id"), count=count, version=self.pool.version()
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The ``stats`` op payload: pool, cache, admission, and metrics."""
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "pool": self.pool.snapshot(),
+            "metrics": self.metrics.snapshot(),
+        }

@@ -1,0 +1,102 @@
+"""The versioned result cache and query canonicalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.obs.metrics import MetricsRegistry
+from repro.server.cache import (
+    CachedResult,
+    VersionedResultCache,
+    canonical_query,
+)
+
+
+class TestCanonicalQuery:
+    def test_whitespace_insensitive(self):
+        a = canonical_query("?- ancestor(X, Y).")
+        b = canonical_query("?-   ancestor( X ,Y ) .")
+        assert a == b
+
+    def test_bindings_equal_inline_constants(self):
+        bound = canonical_query("?- ancestor(X, Y).", {"X": "john"})
+        inline = canonical_query("?- ancestor('john', Y).")
+        assert bound == inline
+
+    def test_integer_bindings(self):
+        bound = canonical_query("?- edge(X, Y).", {"X": 3})
+        inline = canonical_query("?- edge(3, Y).")
+        assert bound == inline
+
+    def test_binding_applies_to_every_occurrence(self):
+        bound = canonical_query("?- p(X), q(X, Y).", {"X": "a"})
+        inline = canonical_query("?- p('a'), q('a', Y).")
+        assert bound == inline
+
+    def test_unknown_binding_rejected(self):
+        with pytest.raises(ParseError, match="Z"):
+            canonical_query("?- ancestor(X, Y).", {"Z": "john"})
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(ParseError):
+            canonical_query("this is not a query")
+
+    def test_canonical_text_is_reparseable(self):
+        text = canonical_query("?- ancestor(X, Y).", {"X": "john"})
+        assert canonical_query(text) == text
+
+
+class TestVersionedResultCache:
+    def test_exact_version_match_only(self):
+        cache = VersionedResultCache(capacity=8)
+        cache.put("q", CachedResult(rows=((1,),), version=3))
+        assert cache.get("q", 3).rows == ((1,),)
+        assert cache.get("q", 4) is None  # newer version: miss
+        assert cache.get("q", 2) is None  # older version: miss
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = VersionedResultCache(capacity=2)
+        cache.put("a", CachedResult(rows=(), version=1))
+        cache.put("b", CachedResult(rows=(), version=1))
+        assert cache.get("a", 1) is not None  # refresh a
+        cache.put("c", CachedResult(rows=(), version=1))  # evicts b
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) is not None
+        assert cache.get("c", 1) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_metrics_mirroring(self):
+        metrics = MetricsRegistry()
+        cache = VersionedResultCache(capacity=4, metrics=metrics)
+        cache.put("q", CachedResult(rows=(), version=1))
+        cache.get("q", 1)
+        cache.get("q", 2)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["server.cache.hits"] == 1
+        assert snapshot["counters"]["server.cache.misses"] == 1
+
+    def test_snapshot_and_hit_rate(self):
+        cache = VersionedResultCache(capacity=4)
+        assert cache.hit_rate == 0.0
+        cache.put("q", CachedResult(rows=(), version=1))
+        cache.get("q", 1)
+        cache.get("x", 1)
+        snapshot = cache.snapshot()
+        assert snapshot["size"] == 1
+        assert snapshot["hits"] == 1 and snapshot["misses"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+    def test_clear_keeps_counters(self):
+        cache = VersionedResultCache(capacity=4)
+        cache.put("q", CachedResult(rows=(), version=1))
+        cache.get("q", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            VersionedResultCache(capacity=0)

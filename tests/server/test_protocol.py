@@ -1,0 +1,103 @@
+"""The wire protocol: framing, validation, structured errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    ErrorCode,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_reply,
+    ok_reply,
+    validate_request,
+)
+
+
+def test_encode_decode_roundtrip():
+    message = {"op": "query", "q": "?- ancestor(X, Y).", "id": 7}
+    line = encode_message(message)
+    assert line.endswith(b"\n")
+    assert b"\n" not in line[:-1]
+    assert decode_line(line[:-1]) == message
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(b"{not json")
+    assert excinfo.value.code == ErrorCode.PARSE_ERROR
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(b"[1, 2, 3]")
+    assert excinfo.value.code == ErrorCode.PARSE_ERROR
+
+
+def test_decode_rejects_oversized_line():
+    huge = b'{"op": "ping", "pad": "' + b"x" * MAX_MESSAGE_BYTES + b'"}'
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(huge)
+    assert excinfo.value.code == ErrorCode.PARSE_ERROR
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        {"op": "ping"},
+        {"op": "query", "q": "?- p(X).", "bindings": {"X": 1}},
+        {"op": "query", "q": "?- p(X).", "use_cache": False, "id": "abc"},
+        {"op": "update", "predicate": "p", "action": "insert", "rows": [[1]]},
+        {"op": "update", "predicate": "p", "action": "delete", "rows": []},
+        {"op": "define", "program": "p(1)."},
+        {"op": "materialize", "predicate": "anc"},
+        {"op": "lint"},
+        {"op": "lint", "q": "?- p(X)."},
+        {"op": "stats"},
+    ],
+)
+def test_validate_accepts_well_formed(message):
+    assert validate_request(message) is message
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        "not a dict",
+        {},
+        {"op": "noop"},
+        {"op": "query"},  # missing q
+        {"op": "query", "q": 42},
+        {"op": "query", "q": "?- p(X).", "extra": 1},
+        {"op": "query", "q": "?- p(X).", "bindings": [1]},
+        {"op": "update", "predicate": "p", "action": "upsert", "rows": []},
+        {"op": "update", "predicate": "p", "action": "insert", "rows": "x"},
+        {"op": "update", "predicate": "p", "action": "insert", "rows": [1]},
+        {"op": "define", "program": 7},
+        {"op": "materialize"},
+    ],
+)
+def test_validate_rejects_malformed(message):
+    with pytest.raises(ProtocolError) as excinfo:
+        validate_request(message)
+    assert excinfo.value.code == ErrorCode.BAD_REQUEST
+
+
+def test_replies_echo_id_and_carry_structure():
+    ok = ok_reply("req-1", rows=[[1]])
+    assert ok == {"ok": True, "id": "req-1", "rows": [[1]]}
+    err = error_reply(2, ErrorCode.SERVER_BUSY, "full")
+    assert err["ok"] is False and err["id"] == 2
+    assert err["error"] == {"code": "SERVER_BUSY", "message": "full"}
+    # Both shapes are wire-encodable.
+    json.loads(encode_message(ok))
+    json.loads(encode_message(err))
+
+
+def test_protocol_error_requires_known_code():
+    with pytest.raises(ValueError):
+        ProtocolError("NOT_A_CODE", "nope")

@@ -322,6 +322,56 @@ def format_ablation(points: list[AblationPoint]) -> str:
     )
 
 
+def format_cte_ab(points) -> str:
+    """CTE vs loop A/B: semi-naive iteration vs one recursive-CTE statement."""
+    rows = []
+    for point in sorted(points, key=lambda p: p.selectivity):
+        rows.append(
+            (
+                point.label,
+                f"{point.selectivity:.3f}",
+                _ms(point.loop_seconds),
+                _ms(point.cte_seconds),
+                f"{point.speedup:.2f}x",
+                point.loop_iterations,
+                point.cte_strategy,
+                point.answers,
+            )
+        )
+    return "CTE A/B — semi-naive loop vs one WITH RECURSIVE statement\n" + _table(
+        (
+            "point",
+            "D_rel/D",
+            "loop (ms)",
+            "cte (ms)",
+            "speedup",
+            "loop iters",
+            "cte path",
+            "answers",
+        ),
+        rows,
+    )
+
+
+def format_engine_ab(points) -> str:
+    """Engine vs engine: the same workload on every importable backend."""
+    rows = [
+        (
+            point.backend,
+            point.label,
+            f"{point.selectivity:.3f}",
+            _ms(point.seconds),
+            point.answers,
+            point.strategy,
+        )
+        for point in sorted(points, key=lambda p: (p.backend, p.selectivity))
+    ]
+    return "Engine A/B — identical workload per SQL backend\n" + _table(
+        ("backend", "point", "D_rel/D", "t_e (ms)", "answers", "strategy"),
+        rows,
+    )
+
+
 def format_fastpath(points) -> str:
     """Fast-path A/B: seed slow path vs cache+batching+indexes, per level.
 

@@ -13,6 +13,16 @@ from .advisor import (
     join_column_advice,
     set_membership_advice,
 )
+from .backends import (
+    BackendCapabilities,
+    DuckDbBackend,
+    SqlBackend,
+    SqliteBackend,
+    available_backends,
+    backend_available,
+    get_backend,
+    registered_backends,
+)
 from .catalog import ExtensionalCatalog, fact_table_name
 from .engine import Database, PhaseStats, StatementCache, Statistics
 from .schema import RelationSchema, column_name, column_names, quote_identifier
@@ -25,16 +35,24 @@ from .sqlgen import (
 )
 
 __all__ = [
+    "BackendCapabilities",
     "CompiledSelect",
     "Database",
+    "DuckDbBackend",
     "ExtensionalCatalog",
     "IndexAdvice",
     "PhaseStats",
     "RelationSchema",
+    "SqlBackend",
+    "SqliteBackend",
     "StatementCache",
     "Statistics",
     "advise_clique_indexes",
     "apply_index_advice",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+    "registered_backends",
     "column_name",
     "column_names",
     "compile_rule_body",

@@ -1,0 +1,74 @@
+"""Pluggable SQL backends for the instrumented Database.
+
+The registry maps short names (``"sqlite"``, ``"duckdb"``) to backend
+classes; :func:`get_backend` resolves a name (or passes an instance
+through), and :func:`available_backends` lists the backends whose driver
+is actually importable in this environment — the cross-engine parity
+suite and benches iterate over that.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvaluationError
+from .base import BackendCapabilities, SqlBackend
+from .duck import DuckDbBackend, duckdb_available
+from .sqlite import SqliteBackend
+
+DEFAULT_BACKEND = "sqlite"
+
+_REGISTRY: dict[str, type[SqlBackend]] = {
+    SqliteBackend.name: SqliteBackend,
+    DuckDbBackend.name: DuckDbBackend,
+}
+
+
+def registered_backends() -> list[str]:
+    """Every backend name the registry knows, installed or not."""
+    return sorted(_REGISTRY)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered *and* its driver is importable."""
+    if name not in _REGISTRY:
+        return False
+    if name == DuckDbBackend.name:
+        return duckdb_available()
+    return True
+
+
+def available_backends() -> list[str]:
+    """The registered backends usable in this environment."""
+    return [name for name in registered_backends() if backend_available(name)]
+
+
+def get_backend(backend: "str | SqlBackend | None") -> SqlBackend:
+    """Resolve a backend name (or instance, or ``None`` for the default).
+
+    Raises:
+        EvaluationError: for a name the registry does not know.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, SqlBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]()
+    except KeyError:
+        raise EvaluationError(
+            f"unknown SQL backend {backend!r}; registered: "
+            + ", ".join(registered_backends())
+        ) from None
+
+
+__all__ = [
+    "BackendCapabilities",
+    "DEFAULT_BACKEND",
+    "DuckDbBackend",
+    "SqlBackend",
+    "SqliteBackend",
+    "available_backends",
+    "backend_available",
+    "duckdb_available",
+    "get_backend",
+    "registered_backends",
+]

@@ -1,13 +1,18 @@
-"""The DBMS layer: an embedded-SQL interface over SQLite.
+"""The DBMS layer: an instrumented embedded-SQL interface.
 
 The paper's testbed talks to "a commercial relational database management
 system with SQL and embedded SQL (in C) interfaces"; every interaction goes
 through SQL statements, and the paper's measurements attribute costs to those
 statements (temporary-table create/drop, right-hand-side evaluation, full
 set-difference termination checks).  :class:`Database` reproduces that
-interface over :mod:`sqlite3` and instruments it: every statement is counted,
-timed, and attributed to the innermost named *phase*, so the experiment
-harness can produce the paper's breakdown tables.
+interface and instruments it: every statement is counted, timed, and
+attributed to the innermost named *phase*, so the experiment harness can
+produce the paper's breakdown tables.
+
+Which engine sits underneath is a :class:`~repro.dbms.backends.SqlBackend`
+(default: SQLite); everything driver-specific — connection setup, exception
+types, catalog probes, dialect capabilities — lives behind that interface,
+and the instrumentation here is engine-neutral.
 """
 
 from __future__ import annotations
@@ -15,7 +20,6 @@ from __future__ import annotations
 import contextlib
 import itertools
 import re
-import sqlite3
 import threading
 import time
 from collections import OrderedDict
@@ -24,6 +28,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 from ..errors import EvaluationError
 from ..obs.trace import StatementRecord, Tracer
+from .backends import BackendCapabilities, SqlBackend, get_backend
 from .schema import RelationSchema, quote_identifier
 
 _STATEMENT_KIND_RE = re.compile(r"\s*([A-Za-z]+)")
@@ -104,7 +109,7 @@ class StatementCache:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._cursors: OrderedDict[str, sqlite3.Cursor] = OrderedDict()
+        self._cursors: OrderedDict[str, Any] = OrderedDict()
         # Lookup, counter update, and eviction must be one atomic step when
         # several threads share the owning Database handle.
         self._lock = threading.Lock()
@@ -121,9 +126,7 @@ class StatementCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def cursor_for(
-        self, connection: sqlite3.Connection, sql: str
-    ) -> tuple[sqlite3.Cursor, bool]:
+    def cursor_for(self, connection: Any, sql: str) -> tuple[Any, bool]:
         """The cached cursor for ``sql`` (creating one), plus hit/miss."""
         with self._lock:
             cursor = self._cursors.get(sql)
@@ -134,7 +137,7 @@ class StatementCache:
             self.misses += 1
             cursor = connection.cursor()
             self._cursors[sql] = cursor
-            evicted: list[sqlite3.Cursor] = []
+            evicted: list[Any] = []
             while len(self._cursors) > self.capacity:
                 __, victim = self._cursors.popitem(last=False)
                 evicted.append(victim)
@@ -148,7 +151,7 @@ class StatementCache:
             cursors = list(self._cursors.values())
             self._cursors.clear()
         for cursor in cursors:
-            with contextlib.suppress(sqlite3.Error):
+            with contextlib.suppress(Exception):
                 cursor.close()
 
 
@@ -326,7 +329,7 @@ class Statistics:
 
 
 class Database:
-    """An instrumented SQLite database posing as the testbed's DBMS.
+    """An instrumented SQL database posing as the testbed's DBMS.
 
     All access must go through :meth:`execute` / the helpers built on it, so
     the statistics see every statement — the testbed's analogue of embedded
@@ -338,45 +341,49 @@ class Database:
         path: str = ":memory:",
         statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
         options: ConnectionOptions | None = None,
+        backend: "str | SqlBackend | None" = None,
     ):
         """Open the database.
 
         Args:
-            path: SQLite path (default: a private in-memory database).
+            path: database path (default: a private in-memory database).
             statement_cache_size: capacity of the prepared-statement LRU
                 cache; ``0`` disables caching (every statement re-prepares,
                 the seed behaviour the fast-path A/B benchmark compares
-                against).
+                against).  Forced off on backends whose cursors do not
+                share connection state (``supports_shared_cursors``).
             options: connection-level knobs (journal mode, busy timeout,
                 thread affinity, private derived relations); the default
                 reproduces the seed single-session behaviour.
+            backend: which engine to open — a registry name
+                (``"sqlite"``, ``"duckdb"``), a
+                :class:`~repro.dbms.backends.SqlBackend` instance, or
+                ``None`` for the default SQLite backend.
         """
+        self.backend = get_backend(backend)
         self.options = options if options is not None else ConnectionOptions()
-        self._connection = sqlite3.connect(
-            path, check_same_thread=self.options.check_same_thread
-        )
-        self._connection.execute("PRAGMA synchronous = OFF")
-        if self.options.wal:
-            self._connection.execute("PRAGMA journal_mode = WAL")
-        else:
-            self._connection.execute("PRAGMA journal_mode = MEMORY")
-        if self.options.busy_timeout_ms:
-            self._connection.execute(
-                f"PRAGMA busy_timeout = {int(self.options.busy_timeout_ms)}"
-            )
-        # One statement at a time per handle: sqlite3 cursors are not
+        self._connection = self.backend.connect(path, self.options)
+        # One statement at a time per handle: DB-API cursors are not
         # re-entrant, so when a handle is shared across threads
         # (check_same_thread=False) the execute/record step must be atomic.
         self._execute_lock = threading.RLock()
         self.statistics = Statistics()
         self.statement_cache: StatementCache | None = (
-            StatementCache(statement_cache_size) if statement_cache_size else None
+            StatementCache(statement_cache_size)
+            if statement_cache_size
+            and self.backend.capabilities.supports_shared_cursors
+            else None
         )
         self._in_explicit_transaction = False
         # Optional observability sink (see repro.obs).  ``None`` when tracing
         # is disabled — the hot path then pays one attribute test and nothing
         # else, so paper-faithful timings are untouched.
         self._tracer: Tracer | None = None
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """Feature flags of the engine underneath this handle."""
+        return self.backend.capabilities
 
     @property
     def tracer(self) -> Tracer | None:
@@ -414,7 +421,7 @@ class Database:
         """Run one statement; return fetched rows (empty for non-queries).
 
         Raises:
-            EvaluationError: wrapping any :class:`sqlite3.Error`.
+            EvaluationError: wrapping any driver-level error.
         """
         kind = self._statement_kind(sql)
         cache_hit: bool | None = None
@@ -429,10 +436,13 @@ class Database:
                 else:
                     cursor = self._connection.execute(sql, tuple(parameters))
                 rows = cursor.fetchall() if cursor.description is not None else []
-            except sqlite3.Error as error:
+            except self.backend.driver_errors as error:
                 raise EvaluationError(f"SQL failed: {error}\n  {sql}") from error
             elapsed = time.perf_counter() - started
-            changed = cursor.rowcount if cursor.rowcount > 0 else 0
+            # Drivers without DML row counts (DuckDB) report -1 or omit the
+            # attribute entirely; record 0 rather than guessing.
+            rowcount = getattr(cursor, "rowcount", -1)
+            changed = rowcount if rowcount > 0 else 0
             self.statistics.record(kind, elapsed, len(rows), changed, cache_hit)
         if self._tracer is not None:
             self._tracer.on_statement(
@@ -465,13 +475,14 @@ class Database:
                     cursor.executemany(sql, rows)
                 else:
                     cursor = self._connection.executemany(sql, rows)
-            except sqlite3.Error as error:
+            except self.backend.driver_errors as error:
                 raise EvaluationError(f"SQL failed: {error}\n  {sql}") from error
             elapsed = time.perf_counter() - started
             # sqlite3 reports -1 ("not applicable") for some statements; only
             # then fall back to the submitted row count.  A genuine 0 — e.g.
             # an UPDATE matching nothing — must stay 0.
-            changed = cursor.rowcount if cursor.rowcount >= 0 else len(rows)
+            rowcount = getattr(cursor, "rowcount", -1)
+            changed = rowcount if rowcount >= 0 else len(rows)
             self.statistics.record(kind, elapsed, 0, changed, cache_hit)
         if self._tracer is not None:
             self._tracer.on_statement(
@@ -501,20 +512,21 @@ class Database:
         """
         if self._in_explicit_transaction:
             return
-        self._connection.commit()
+        self.backend.commit(self._connection)
 
     def interrupt(self) -> None:
         """Abort any statement running on this handle (thread-safe).
 
         The interrupted statement raises
         :class:`~repro.errors.EvaluationError`; the query server's
-        per-request timeout uses this to cancel overrunning work.
+        per-request timeout uses this to cancel overrunning work.  A no-op
+        on backends without ``supports_interrupt``.
         """
-        self._connection.interrupt()
+        self.backend.interrupt(self._connection)
 
     def rollback(self) -> None:
         """Roll back the current transaction."""
-        self._connection.rollback()
+        self.backend.rollback(self._connection)
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[None]:
@@ -531,17 +543,17 @@ class Database:
         if self._in_explicit_transaction:
             yield
             return
-        if self._connection.in_transaction:
-            self._connection.commit()
-        self._connection.execute("BEGIN")
+        if self.backend.in_transaction(self._connection):
+            self.backend.commit(self._connection)
+        self.backend.begin(self._connection)
         self._in_explicit_transaction = True
         try:
             yield
         except BaseException:
-            self._connection.rollback()
+            self.backend.rollback(self._connection)
             raise
         else:
-            self._connection.commit()
+            self.backend.commit(self._connection)
         finally:
             self._in_explicit_transaction = False
 
@@ -583,19 +595,12 @@ class Database:
 
     def table_exists(self, name: str) -> bool:
         """Whether a (permanent or temporary) table ``name`` exists."""
-        rows = self.execute(
-            "SELECT name FROM sqlite_master WHERE type = 'table' AND name = ? "
-            "UNION ALL "
-            "SELECT name FROM sqlite_temp_master WHERE type = 'table' AND name = ?",
-            (name, name),
-        )
-        return bool(rows)
+        sql, parameters = self.backend.table_exists_query(name)
+        return bool(self.execute(sql, parameters))
 
     def table_names(self) -> list[str]:
         """All permanent table names."""
-        rows = self.execute(
-            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
-        )
+        rows = self.execute(self.backend.table_names_query())
         return [name for (name,) in rows]
 
     def insert_rows(

@@ -19,7 +19,12 @@ from .constraints import (
     is_constraint,
 )
 from .optimizer import OptimizationResult, optimization_applies, optimize
-from .policy import AdaptiveDecision, AdaptiveOptimizationPolicy
+from .policy import (
+    AdaptiveDecision,
+    AdaptiveOptimizationPolicy,
+    LfpStrategyDecision,
+    decide_clique_strategy,
+)
 from .precompile import CacheStatistics, PrecompiledQueryCache, cache_key
 from .semantic import SemanticReport, check_semantics
 from .session import QueryResult, Testbed
@@ -32,6 +37,8 @@ __all__ = [
     "AdaptiveOptimizationPolicy",
     "CacheStatistics",
     "CompilationResult",
+    "LfpStrategyDecision",
+    "decide_clique_strategy",
     "PrecompiledQueryCache",
     "RESERVED_PREDICATE",
     "Violation",

@@ -51,6 +51,10 @@ class TestbedConfig:
             keeps the seed single-session behaviour; the concurrent query
             server opens its pooled sessions with the WAL-mode
             reader/writer presets.
+        backend: name of the SQL backend holding the extensional database
+            (see :func:`repro.dbms.backends.registered_backends`).  The
+            default ``"sqlite"`` preserves the seed behaviour exactly;
+            ``"duckdb"`` needs the optional ``duckdb`` package installed.
     """
 
     # Not a test class, despite the name — keeps pytest collection quiet.
@@ -65,3 +69,4 @@ class TestbedConfig:
     )
     trace: bool = False
     connection: ConnectionOptions = field(default_factory=ConnectionOptions)
+    backend: str = "sqlite"

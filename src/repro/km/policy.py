@@ -25,10 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datalog.clauses import Program, Query
+from ..datalog.pcg import Clique
 from ..datalog.terms import Constant
 from ..dbms.catalog import ExtensionalCatalog, fact_table_name
 from ..dbms.engine import Database
 from ..dbms.schema import quote_identifier
+from ..runtime.lfp_cte import cte_eligibility
 from .optimizer import optimization_applies
 
 # The paper's measured crossovers sit at 72% (semi-naive) to 85% (naive)
@@ -55,6 +57,50 @@ class AdaptiveDecision:
         if self.probed_nodes >= self.probe_limit:
             return 1.0
         return self.probed_nodes / self.domain_size
+
+
+@dataclass(frozen=True)
+class LfpStrategyDecision:
+    """How a clique node should compute its fixpoint, with the evidence.
+
+    Surfaces the recursive-CTE eligibility check (and the backend's
+    capability gate) *before* execution, so callers — planners, the
+    benchmark drivers, a curious user — can see which path a clique will
+    take without running it.  ``evaluate_clique_lfp_cte`` applies exactly
+    the same checks at execution time, so the decision here is a faithful
+    prediction, never a promise the runtime breaks.
+    """
+
+    clique_label: str
+    use_cte: bool
+    reason: str
+
+    @property
+    def strategy_name(self) -> str:
+        """The runtime strategy label this decision resolves to."""
+        return "lfp_cte" if self.use_cte else "seminaive"
+
+
+def decide_clique_strategy(
+    clique: Clique, database: Database | None = None
+) -> LfpStrategyDecision:
+    """Decide whether ``clique`` should run as one recursive-CTE statement.
+
+    ``database`` is optional: without one the decision reflects the clique's
+    logical shape alone; with one, the backend's ``supports_recursive_cte``
+    capability gates the answer too.
+    """
+    label = "+".join(sorted(clique.predicates))
+    check = cte_eligibility(clique)
+    if check.eligible and database is not None:
+        if not database.capabilities.supports_recursive_cte:
+            return LfpStrategyDecision(
+                label,
+                False,
+                f"backend {database.backend.name!r} lacks recursive-CTE "
+                "support",
+            )
+    return LfpStrategyDecision(label, check.eligible, check.reason)
 
 
 class AdaptiveOptimizationPolicy:

@@ -164,6 +164,7 @@ class Testbed:
             config.path,
             statement_cache_size=config.statement_cache_size,
             options=config.connection,
+            backend=config.backend,
         )
         self.catalog = ExtensionalCatalog(self.database)
         self.stored = StoredDKB(

@@ -24,6 +24,11 @@ from .counting import (
     recognize_counting_form,
 )
 from .lfp import evaluate_clique_lfp_operator
+from .lfp_cte import (
+    CteEligibility,
+    cte_eligibility,
+    evaluate_clique_lfp_cte,
+)
 from .naive import LfpResult, evaluate_clique_naive
 from .parallel_sim import (
     SimulatedSchedule,
@@ -45,6 +50,8 @@ from .transitive_closure import (
 __all__ = [
     "CountingForm",
     "CountingResult",
+    "CteEligibility",
+    "cte_eligibility",
     "EvaluationContext",
     "SimulatedSchedule",
     "counting_applies",
@@ -64,6 +71,7 @@ __all__ = [
     "QueryProgram",
     "TopDownEvaluator",
     "derived_table_name",
+    "evaluate_clique_lfp_cte",
     "evaluate_clique_lfp_operator",
     "evaluate_clique_naive",
     "evaluate_clique_seminaive",

@@ -32,6 +32,7 @@ from ..dbms.sqlgen import compile_rule_body
 from .context import EvaluationContext
 from . import naive
 from .naive import LfpResult, non_convergence_error
+from .seminaive import evaluate_clique_seminaive
 
 
 def _create_keyed_table(context: EvaluationContext, name: str, predicate: str) -> None:
@@ -64,6 +65,15 @@ def evaluate_clique_lfp_operator(
             :data:`repro.runtime.naive.MAX_ITERATIONS` before the deltas
             drain (the result would be a truncated fixed point).
     """
+    capabilities = context.database.capabilities
+    if not (
+        capabilities.supports_without_rowid
+        and capabilities.supports_changes_function
+    ):
+        # The operator's storage tricks (WITHOUT ROWID keys, INSERT OR
+        # IGNORE, changes()) are SQLite dialect; on other engines the
+        # portable iteration loop computes the same fixpoint.
+        return evaluate_clique_seminaive(context, clique)
     predicates = sorted(clique.predicates)
     database = context.database
     tracer = context.tracer

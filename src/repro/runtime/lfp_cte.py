@@ -1,0 +1,246 @@
+"""Whole-clique LFP evaluation as one recursive CTE statement.
+
+The paper's central complaint about the SQL interface is that the fixpoint
+loop lives in the *application*: every iteration pays temp-table DDL, RHS
+SELECTs, set differences, and a termination probe as separate statements.
+Modern engines can run the entire least-fixpoint inside the DBMS as one
+``WITH RECURSIVE`` statement — ``UNION`` (not ``UNION ALL``) gives set
+semantics and termination for free, and the engine's own memoisation
+replaces the delta bookkeeping.
+
+Not every clique qualifies.  The strategy compiles a clique into a single
+recursive CTE exactly when:
+
+* the clique has **one predicate** (no mutual recursion — SQL's recursive
+  CTE recurses through one table);
+* every recursive rule is **linear**: its body references the clique
+  predicate exactly once (which is also SQL's own restriction on the
+  recursive select); and
+* **no rule uses negation** (a negated reference to the table under
+  construction is not expressible; this dialect has no aggregation, the
+  other classic disqualifier).
+
+Anything else — and any backend without ``supports_recursive_cte`` — falls
+back to the configured iteration loop (semi-naive by default).  Fallback is
+silent and recorded in ``EvaluationCounters.strategy_by_clique``; it is
+never an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..datalog.pcg import Clique
+from ..dbms.schema import column_name, quote_identifier
+from ..dbms.sqlgen import compile_rule_body
+from .context import (
+    PHASE_RHS_EVAL,
+    PHASE_TEMP_TABLES,
+    EvaluationContext,
+)
+from .naive import LfpResult
+from .seminaive import evaluate_clique_seminaive
+
+#: Name of the recursive common table expression inside the generated
+#: statement.  Scoped to the statement, so no collision handling is needed.
+CTE_NAME = "lfp_cte"
+
+_DISTINCT_PREFIX = "SELECT DISTINCT "
+
+
+@dataclass(frozen=True)
+class CteEligibility:
+    """Whether a clique qualifies for the recursive-CTE fast path, and why."""
+
+    eligible: bool
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.eligible
+
+
+def cte_eligibility(clique: Clique) -> CteEligibility:
+    """Decide whether ``clique`` compiles to a single recursive CTE."""
+    if len(clique.predicates) != 1:
+        return CteEligibility(
+            False,
+            "mutual recursion: a recursive CTE recurses through one table, "
+            f"clique has {sorted(clique.predicates)}",
+        )
+    (predicate,) = clique.predicates
+    for clause in clique.rules:
+        if any(atom.negated for atom in clause.body):
+            return CteEligibility(
+                False, f"negated atom in rule: {clause}"
+            )
+    for clause in clique.recursive_rules:
+        occurrences = sum(
+            1 for atom in clause.body if atom.predicate == predicate
+        )
+        if occurrences != 1:
+            return CteEligibility(
+                False,
+                f"non-linear recursive rule ({occurrences} occurrences of "
+                f"{predicate!r}): {clause}",
+            )
+    return CteEligibility(True, "single-predicate linear clique, no negation")
+
+
+def _without_distinct(select_sql: str) -> str:
+    """Strip the leading ``DISTINCT`` from a compiled rule-body SELECT.
+
+    SQL forbids DISTINCT on the recursive select of a CTE; the surrounding
+    ``UNION`` compound performs the duplicate elimination anyway, so
+    dropping it from every arm is semantics-preserving.
+    """
+    if select_sql.startswith(_DISTINCT_PREFIX):
+        return "SELECT " + select_sql[len(_DISTINCT_PREFIX):]
+    return select_sql
+
+
+def compile_clique_cte(
+    context: EvaluationContext, clique: Clique, dedup: bool = True
+) -> "tuple[str, tuple] | None":
+    """The single recursive statement for an eligible ``clique``.
+
+    Returns ``(sql, parameters)``, or ``None`` when the clique has no
+    anchor at all (no exit rules and no seed rows) — the fixpoint is then
+    the already-materialised (empty) relation and no statement is needed.
+
+    The statement has the shape::
+
+        WITH RECURSIVE "lfp_cte"(c0, ...) AS (
+            <exit-rule select>  UNION  <seed VALUES>      -- anchor arms
+            UNION
+            <recursive-rule select over "lfp_cte">  ...   -- recursive arms
+        )
+        INSERT INTO "d_pred" (c0, ...)
+        SELECT c0, ... FROM "lfp_cte"
+        [EXCEPT SELECT c0, ... FROM "d_pred"]
+
+    (with the WITH/INSERT composition delegated to the backend, whose
+    dialects disagree on where the clause attaches).  ``dedup`` adds the
+    trailing EXCEPT, which keeps the insert idempotent against rows
+    already in the result relation; callers that just created the relation
+    skip it — the EXCEPT re-sorts the whole fixpoint for nothing.
+    """
+    (predicate,) = clique.predicates
+    database = context.database
+    arity = len(context.types_of(predicate))
+    columns = ", ".join(column_name(i) for i in range(arity))
+    quoted_cte = quote_identifier(CTE_NAME)
+
+    anchor_arms: list[str] = []
+    recursive_arms: list[str] = []
+    parameters: list = []
+
+    for clause in clique.exit_rules:
+        select = compile_rule_body(clause)
+        tables = [context.table_of(p) for p in select.table_slots]
+        anchor_arms.append(_without_distinct(select.render(tables)))
+        parameters.extend(select.parameters)
+
+    for row in context.seed_rows.get(predicate, ()):
+        anchor_arms.append(
+            "SELECT "
+            + ", ".join(f"? AS {column_name(i)}" for i in range(arity))
+        )
+        parameters.extend(row)
+
+    if not anchor_arms:
+        return None
+
+    for clause in clique.recursive_rules:
+        select = compile_rule_body(clause)
+        # The one recursive occurrence reads the CTE itself; every other
+        # slot reads its materialised relation as usual.
+        tables = [
+            quoted_cte if p == predicate
+            else quote_identifier(context.table_of(p))
+            for p in select.table_slots
+        ]
+        recursive_arms.append(_without_distinct(select.sql.format(*tables)))
+        parameters.extend(select.parameters)
+
+    # Anchor arms must precede recursive arms; UNION keeps set semantics
+    # (and with it, termination on cyclic data).
+    body = " UNION ".join(anchor_arms + recursive_arms)
+    result = quote_identifier(context.table_of(predicate))
+    select_stmt = f"SELECT {columns} FROM {quoted_cte}"
+    if dedup:
+        select_stmt += f" EXCEPT SELECT {columns} FROM {result}"
+    sql = database.backend.recursive_insert_sql(
+        f"{quoted_cte}({columns}) AS ({body})",
+        f"INSERT INTO {result} ({columns})",
+        select_stmt,
+    )
+    return sql, tuple(parameters)
+
+
+def evaluate_clique_lfp_cte(
+    context: EvaluationContext,
+    clique: Clique,
+    fallback: Callable[[EvaluationContext, Clique], LfpResult] | None = None,
+) -> LfpResult:
+    """Evaluate ``clique`` in one recursive-CTE statement when it qualifies.
+
+    Ineligible cliques (and backends without recursive-CTE support) are
+    handed to ``fallback`` — :func:`evaluate_clique_seminaive` by default —
+    so this strategy never fails where the iteration loop would succeed.
+    The choice made for each clique is recorded in
+    ``context.counters.strategy_by_clique``.
+    """
+    if fallback is None:
+        fallback = evaluate_clique_seminaive
+    label = "+".join(sorted(clique.predicates))
+    check = cte_eligibility(clique)
+    if check.eligible and not context.database.capabilities.supports_recursive_cte:
+        check = CteEligibility(
+            False,
+            f"backend {context.database.backend.name!r} lacks recursive-CTE "
+            "support",
+        )
+    if not check.eligible:
+        context.counters.strategy_by_clique[label] = f"fallback: {check.reason}"
+        return fallback(context, clique)
+    context.counters.strategy_by_clique[label] = "lfp_cte"
+
+    (predicate,) = clique.predicates
+    database = context.database
+    tracer = context.tracer
+
+    with database.phase(PHASE_TEMP_TABLES):
+        # A pre-existing relation (e.g. adopted storage) may already hold
+        # rows the INSERT must not duplicate; a freshly materialised one is
+        # empty by construction and skips the EXCEPT re-sort entirely.
+        fresh = not context.has_table(predicate)
+        context.materialise(predicate)
+        # Seed rows are NOT pre-inserted here: they ride the CTE as anchor
+        # arms and arrive in the result through the one INSERT, mirroring
+        # how the iteration strategies let seeds participate in recursion.
+
+    compiled = compile_clique_cte(context, clique, dedup=not fresh)
+    # The whole fixpoint is a single statement: one "iteration" from the
+    # counters' point of view, and no termination phase at all.
+    with tracer.span("iteration", category="iteration", iteration=1) as it_span:
+        if compiled is not None:
+            sql, parameters = compiled
+            with database.phase(PHASE_RHS_EVAL):
+                database.execute(sql, parameters)
+        if tracer.enabled:
+            rows = database.observe(
+                "SELECT COUNT(*) FROM "
+                + quote_identifier(context.table_of(predicate))
+            )
+            cardinality = int(rows[0][0])
+            it_span.set("delta_tuples", cardinality)
+            tracer.metrics.histogram(
+                "lfp.delta_tuples", (1, 10, 100, 1000, 10000)
+            ).observe(cardinality)
+            tracer.metrics.counter("lfp.iterations").inc()
+            tracer.metrics.counter("lfp.cte_statements").inc()
+
+    sizes = {predicate: context.record_result_size(predicate)}
+    context.counters.iterations_by_clique[label] = 1
+    return LfpResult(1, sizes)

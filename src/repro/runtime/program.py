@@ -12,6 +12,7 @@ answer relation.
 from __future__ import annotations
 
 import enum
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -26,6 +27,7 @@ from ..errors import EvaluationError
 from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .context import EvaluationContext, FastPathConfig
 from .lfp import evaluate_clique_lfp_operator
+from .lfp_cte import evaluate_clique_lfp_cte
 from .naive import LfpResult, evaluate_clique_naive
 from .relalg import evaluate_nonrecursive
 from .seminaive import evaluate_clique_seminaive
@@ -39,12 +41,17 @@ class LfpStrategy(enum.Enum):
     # Extension (paper conclusion #6): a generalized LFP operator inside the
     # DBMS, avoiding per-iteration temp tables and full set differences.
     LFP_OPERATOR = "lfp_operator"
+    # Extension: the whole fixpoint as one recursive-CTE statement when the
+    # clique qualifies (linear, single-predicate, negation-free); falls back
+    # to semi-naive iteration otherwise.
+    LFP_CTE = "lfp_cte"
 
 
 _CLIQUE_EVALUATORS = {
     LfpStrategy.NAIVE: evaluate_clique_naive,
     LfpStrategy.SEMINAIVE: evaluate_clique_seminaive,
     LfpStrategy.LFP_OPERATOR: evaluate_clique_lfp_operator,
+    LfpStrategy.LFP_CTE: evaluate_clique_lfp_cte,
 }
 
 
@@ -59,6 +66,9 @@ class ExecutionResult:
     # Wall seconds per evaluation node, keyed by the node's predicate set —
     # Fig 14 reads the magic-rules vs modified-rules LFP times from here.
     node_seconds: dict[str, float] = field(default_factory=dict)
+    # Clique label -> "lfp_cte" | "fallback: <reason>", filled in when the
+    # recursive-CTE strategy (or the lfp_cte fast-path switch) was in play.
+    strategy_by_clique: dict[str, str] = field(default_factory=dict)
 
     @property
     def total_iterations(self) -> int:
@@ -119,6 +129,13 @@ class QueryProgram:
         )
 
         evaluate_clique = _CLIQUE_EVALUATORS[self.strategy]
+        if context.fastpath.lfp_cte and self.strategy is not LfpStrategy.LFP_CTE:
+            # The fast-path switch upgrades qualifying cliques to the
+            # one-statement recursive CTE; ineligible cliques still run
+            # under the configured strategy.
+            evaluate_clique = functools.partial(
+                evaluate_clique_lfp_cte, fallback=evaluate_clique
+            )
         lfp_results: list[LfpResult] = []
         defined = program_predicates(self.order)
         try:
@@ -154,6 +171,7 @@ class QueryProgram:
             dict(context.counters.tuples_by_predicate),
             lfp_results,
             node_seconds,
+            dict(context.counters.strategy_by_clique),
         )
 
     def _answer_rows(self, context: EvaluationContext) -> list[tuple]:

@@ -97,9 +97,15 @@ class VersionedResultCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from the cache.
+
+        Reads the hit/miss pair under the lock: a concurrent ``get``
+        between the two reads would otherwise yield a torn ratio (hits
+        from after the lookup, total from before).
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def get(self, key: str, version: int) -> Optional[CachedResult]:
         """The cached result for ``key`` at exactly ``version``, if any."""
@@ -134,14 +140,22 @@ class VersionedResultCache:
             self._entries.clear()
 
     def snapshot(self) -> dict[str, float | int]:
-        """JSON-friendly counters for the ``stats`` op."""
+        """JSON-friendly counters for the ``stats`` op.
+
+        All counters are read in one critical section so the snapshot is
+        internally consistent (``hit_rate`` matches ``hits``/``misses``
+        exactly, even while other threads are calling :meth:`get`).  The
+        hit rate is recomputed inline because ``_lock`` is not reentrant.
+        """
         with self._lock:
-            size = len(self._entries)
-        return {
-            "capacity": self.capacity,
-            "size": size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+            hits = self.hits
+            misses = self.misses
+            total = hits + misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / total if total else 0.0,
+            }

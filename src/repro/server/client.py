@@ -6,7 +6,13 @@ import itertools
 import socket
 from typing import Any, Optional
 
-from .protocol import MAX_MESSAGE_BYTES, decode_line, encode_message
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    ErrorCode,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
 
 
 class ServerError(Exception):
@@ -51,6 +57,8 @@ class DkbClient:
         Raises:
             ServerError: the server replied with a structured error.
             ConnectionError: the server closed the connection.
+            ProtocolError: the reply was truncated (no line terminator) —
+                an oversized or partial frame, never valid JSON to parse.
         """
         message = {"op": op, "id": next(self._ids)}
         message.update({k: v for k, v in payload.items() if v is not None})
@@ -59,6 +67,15 @@ class DkbClient:
         line = self._file.readline(MAX_MESSAGE_BYTES + 2)
         if not line:
             raise ConnectionError("server closed the connection")
+        if not line.endswith(b"\n"):
+            # readline returned because it hit the byte cap or the peer
+            # closed mid-line — either way this is a partial frame, not a
+            # complete reply, and must not be handed to the decoder as one.
+            raise ProtocolError(
+                ErrorCode.PARSE_ERROR,
+                f"reply truncated after {len(line)} bytes with no line "
+                "terminator (oversized or partial frame)",
+            )
         reply = decode_line(line)
         if not reply.get("ok"):
             error = reply.get("error") or {}

@@ -16,6 +16,7 @@ errors: shedding under overload is the server *working as designed*.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import queue as queue_module
 import threading
@@ -31,12 +32,18 @@ _SHED_CODES = frozenset({"SERVER_BUSY", "TIMEOUT", "SHUTTING_DOWN"})
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
-    """The ``fraction`` (0..1) percentile of ``samples`` (nearest-rank)."""
+    """The ``fraction`` (0..1) percentile of ``samples`` (nearest-rank).
+
+    Nearest-rank: the smallest ordered sample whose cumulative share of the
+    data is at least ``fraction`` — rank ``ceil(fraction * n)``, 1-based.
+    This always returns an actual sample (no interpolation), and the p100
+    of any non-empty sequence is its maximum.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
 
 @dataclass

@@ -1,0 +1,183 @@
+"""The recursive-CTE clique strategy: eligibility, correctness, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.pcg import find_cliques
+from repro.runtime.lfp_cte import (
+    compile_clique_cte,
+    cte_eligibility,
+    evaluate_clique_lfp_cte,
+)
+
+from .conftest import CYCLE_EDGES, EDGES, closure_of, make_context
+
+
+def clique_of(program_text: str):
+    cliques = find_cliques(parse_program(program_text))
+    assert len(cliques) == 1
+    return cliques[0]
+
+
+class TestEligibility:
+    def test_linear_single_predicate_qualifies(self, ancestor_clique):
+        check = cte_eligibility(ancestor_clique)
+        assert check
+        assert "linear" in check.reason
+
+    def test_mutual_recursion_rejected(self):
+        clique = clique_of(
+            "p(X, Y) :- edge(X, Y)."
+            "p(X, Y) :- edge(X, Z), q(Z, Y)."
+            "q(X, Y) :- p(X, Y)."
+        )
+        check = cte_eligibility(clique)
+        assert not check
+        assert "mutual recursion" in check.reason
+
+    def test_negation_rejected(self):
+        clique = clique_of(
+            "p(X, Y) :- edge(X, Y)."
+            "p(X, Y) :- edge(X, Z), p(Z, Y), not blocked(X, Y)."
+        )
+        check = cte_eligibility(clique)
+        assert not check
+        assert "negated" in check.reason
+
+    def test_nonlinear_rule_rejected(self):
+        clique = clique_of(
+            "p(X, Y) :- edge(X, Y). p(X, Y) :- p(X, Z), p(Z, Y)."
+        )
+        check = cte_eligibility(clique)
+        assert not check
+        assert "non-linear" in check.reason
+
+
+class TestEvaluation:
+    def test_chain_closure(self, edge_context, ancestor_clique):
+        result = evaluate_clique_lfp_cte(edge_context, ancestor_clique)
+        rows = set(edge_context.database.fetch_all(edge_context.table_of("anc")))
+        assert rows == closure_of(EDGES)
+        assert result.iterations == 1
+        assert result.tuples_by_predicate == {"anc": len(rows)}
+        assert edge_context.counters.strategy_by_clique["anc"] == "lfp_cte"
+        assert edge_context.counters.iterations_by_clique["anc"] == 1
+
+    def test_cycle_terminates(self, cycle_context, ancestor_clique):
+        # UNION (set) semantics is what guarantees termination here.
+        evaluate_clique_lfp_cte(cycle_context, ancestor_clique)
+        rows = set(
+            cycle_context.database.fetch_all(cycle_context.table_of("anc"))
+        )
+        assert rows == closure_of(CYCLE_EDGES)
+
+    def test_empty_base_relation(self, database, ancestor_clique):
+        context = make_context(database, [])
+        result = evaluate_clique_lfp_cte(context, ancestor_clique)
+        assert result.total_tuples == 0
+
+    def test_seed_rows_participate(self, edge_context, ancestor_clique):
+        # Same expectation as the iteration strategies: anc(z,a) is a seed
+        # fact, not an edge, so edge(X,Z), anc(Z,Y) does not extend it
+        # leftward; it must survive in the result as-is.
+        edge_context.seed_rows["anc"] = (("z", "a"),)
+        evaluate_clique_lfp_cte(edge_context, ancestor_clique)
+        rows = set(edge_context.database.fetch_all(edge_context.table_of("anc")))
+        assert rows == closure_of(EDGES) | {("z", "a")}
+
+    def test_seed_rows_feed_the_recursion(self, database):
+        # With right-linear recursion anc(X,Z), edge(Z,Y) a seed anc(z,a)
+        # genuinely extends: z reaches everything a reaches.
+        context = make_context(database, EDGES)
+        context.seed_rows["anc"] = (("z", "a"),)
+        clique = clique_of(
+            "anc(X, Y) :- edge(X, Y). anc(X, Y) :- anc(X, Z), edge(Z, Y)."
+        )
+        evaluate_clique_lfp_cte(context, clique)
+        rows = set(context.database.fetch_all(context.table_of("anc")))
+        assert rows == closure_of(EDGES) | {
+            ("z", t) for t in ("a", "b", "c", "d")
+        }
+
+    def test_right_linear_variant(self, database):
+        # Recursion in the last body position instead of the first.
+        context = make_context(database, EDGES)
+        clique = clique_of(
+            "anc(X, Y) :- edge(X, Y). anc(X, Y) :- edge(X, Z), anc(Z, Y)."
+        )
+        right = clique_of(
+            "anc(X, Y) :- edge(X, Y). anc(X, Y) :- anc(X, Z), edge(Z, Y)."
+        )
+        assert cte_eligibility(right)
+        evaluate_clique_lfp_cte(context, right)
+        rows = set(context.database.fetch_all(context.table_of("anc")))
+        assert rows == closure_of(EDGES)
+        assert cte_eligibility(clique)
+
+    def test_single_rhs_statement(self, edge_context, ancestor_clique):
+        # The whole fixpoint must execute as ONE statement in the RHS phase.
+        statistics = edge_context.database.statistics
+        statistics.reset()
+        evaluate_clique_lfp_cte(edge_context, ancestor_clique)
+        assert statistics.phase("rhs_eval").statements == 1
+        assert "termination" not in statistics.phases()
+
+    def test_compile_returns_none_without_anchor(self, database):
+        # No exit rules and no seeds: nothing can anchor the recursion.
+        context = make_context(database, EDGES)
+        clique = clique_of("anc(X, Y) :- edge(X, Z), anc(Z, Y).")
+        context.materialise("anc")
+        assert compile_clique_cte(context, clique) is None
+        result = evaluate_clique_lfp_cte(context, clique)
+        assert result.total_tuples == 0
+
+
+class TestFallback:
+    def test_ineligible_clique_falls_back_silently(self, database):
+        context = make_context(database, EDGES)
+        clique = clique_of(
+            "anc(X, Y) :- edge(X, Y). anc(X, Y) :- anc(X, Z), anc(Z, Y)."
+        )
+        result = evaluate_clique_lfp_cte(context, clique)
+        rows = set(context.database.fetch_all(context.table_of("anc")))
+        assert rows == closure_of(EDGES)
+        assert result.iterations >= 2  # the semi-naive loop actually ran
+        assert context.counters.strategy_by_clique["anc"].startswith("fallback:")
+        assert "non-linear" in context.counters.strategy_by_clique["anc"]
+
+    def test_custom_fallback_is_used(self, database, ancestor_clique):
+        context = make_context(database, EDGES)
+        clique = clique_of(
+            "anc(X, Y) :- edge(X, Y). anc(X, Y) :- anc(X, Z), anc(Z, Y)."
+        )
+        calls = []
+
+        def spy(ctx, cl):
+            calls.append(cl)
+            from repro.runtime.seminaive import evaluate_clique_seminaive
+
+            return evaluate_clique_seminaive(ctx, cl)
+
+        evaluate_clique_lfp_cte(context, clique, fallback=spy)
+        assert calls == [clique]
+
+    def test_backend_without_cte_support_falls_back(
+        self, edge_context, ancestor_clique, monkeypatch
+    ):
+        import dataclasses
+
+        database = edge_context.database
+        stripped = dataclasses.replace(
+            database.backend.capabilities, supports_recursive_cte=False
+        )
+        monkeypatch.setattr(type(database.backend), "capabilities", stripped)
+        result = evaluate_clique_lfp_cte(edge_context, ancestor_clique)
+        rows = set(database.fetch_all(edge_context.table_of("anc")))
+        assert rows == closure_of(EDGES)
+        assert result.iterations >= 2
+        assert edge_context.counters.strategy_by_clique["anc"].startswith(
+            "fallback:"
+        )
+        assert "recursive-CTE" in edge_context.counters.strategy_by_clique["anc"]

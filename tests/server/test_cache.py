@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.errors import ParseError
@@ -100,3 +102,58 @@ class TestVersionedResultCache:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             VersionedResultCache(capacity=0)
+
+    def test_concurrent_stats_are_consistent(self):
+        """hits + misses == lookups, and every snapshot is internally torn-free.
+
+        Regression test for the stats reads that used to happen outside the
+        lock: a snapshot taken mid-``get`` could pair a new ``hits`` value
+        with a stale total, yielding an impossible hit rate.
+        """
+        cache = VersionedResultCache(capacity=16)
+        cache.put("q", CachedResult(rows=(), version=1))
+        lookups_per_worker = 2000
+        workers = 4
+        start = threading.Barrier(workers + 2)  # lookups + observer + main
+        snapshots: list[dict] = []
+        stop = threading.Event()
+
+        def lookup_worker():
+            start.wait()
+            for index in range(lookups_per_worker):
+                # Alternate hit and miss so both counters move.
+                cache.get("q", 1 if index % 2 else 2)
+
+        def snapshot_worker():
+            start.wait()
+            while not stop.is_set():
+                snapshots.append(cache.snapshot())
+                snapshots.append(
+                    {"hit_rate": cache.hit_rate, "hits": None, "misses": None}
+                )
+
+        threads = [
+            threading.Thread(target=lookup_worker) for __ in range(workers)
+        ]
+        observer = threading.Thread(target=snapshot_worker)
+        for thread in threads:
+            thread.start()
+        observer.start()
+        start.wait()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        observer.join()
+
+        total = workers * lookups_per_worker
+        assert cache.hits + cache.misses == total
+        assert cache.hits == cache.misses == total // 2
+        for snapshot in snapshots:
+            assert 0.0 <= snapshot["hit_rate"] <= 1.0
+            if snapshot["hits"] is None:
+                continue
+            lookups = snapshot["hits"] + snapshot["misses"]
+            if lookups:
+                assert snapshot["hit_rate"] == snapshot["hits"] / lookups
+            else:
+                assert snapshot["hit_rate"] == 0.0

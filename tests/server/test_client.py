@@ -1,0 +1,60 @@
+"""The blocking client's wire handling against misbehaving peers."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.server.client import DkbClient
+from repro.server.protocol import ErrorCode, ProtocolError
+
+
+def _one_shot_server(reply: bytes) -> tuple[str, int, threading.Thread]:
+    """A listener that accepts one connection, reads the request line,
+    writes ``reply`` verbatim, and closes the connection."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+
+    def serve():
+        conn, __ = listener.accept()
+        with conn:
+            conn.makefile("rb").readline()
+            conn.sendall(reply)
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+class TestTruncatedReply:
+    def test_unterminated_reply_raises_protocol_error(self):
+        """A reply cut off before the newline must not be decoded as if
+        complete — the old code handed the partial frame to ``decode_line``,
+        which could even parse it successfully if the JSON happened to be
+        self-delimiting."""
+        host, port, thread = _one_shot_server(b'{"ok": true, "id": 1}')
+        with DkbClient(host, port, timeout=5.0) as client:
+            with pytest.raises(ProtocolError) as excinfo:
+                client.ping()
+        thread.join(timeout=5.0)
+        assert excinfo.value.code == ErrorCode.PARSE_ERROR
+        assert "truncated" in str(excinfo.value)
+
+    def test_terminated_reply_still_decodes(self):
+        host, port, thread = _one_shot_server(b'{"ok": true, "id": 1}\n')
+        with DkbClient(host, port, timeout=5.0) as client:
+            reply = client.ping()
+        thread.join(timeout=5.0)
+        assert reply["ok"] is True
+
+    def test_closed_connection_still_raises_connection_error(self):
+        host, port, thread = _one_shot_server(b"")
+        with DkbClient(host, port, timeout=5.0) as client:
+            with pytest.raises(ConnectionError):
+                client.ping()
+        thread.join(timeout=5.0)

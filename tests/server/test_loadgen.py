@@ -1,0 +1,66 @@
+"""The load generator's statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.loadgen import percentile
+
+
+class TestPercentileNearestRank:
+    """Regression tests for the nearest-rank definition.
+
+    The old implementation rounded ``fraction * (n - 1)``, which is neither
+    nearest-rank nor linear interpolation: on two samples every fraction
+    above 0.5 returned the max (p50 of [1, 2] came back 2), and on large
+    inputs the returned rank was off by one around every rounding boundary.
+    Nearest-rank is ``ceil(fraction * n)``, 1-based.
+    """
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample_every_fraction(self):
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert percentile([7.0], fraction) == 7.0
+
+    def test_two_samples(self):
+        samples = [1.0, 2.0]
+        # ceil(0.5 * 2) = 1 -> the first ordered sample, not the max.
+        assert percentile(samples, 0.5) == 1.0
+        assert percentile(samples, 0.51) == 2.0
+        assert percentile(samples, 1.0) == 2.0
+        assert percentile(samples, 0.0) == 1.0
+
+    def test_ten_samples(self):
+        samples = list(range(1, 11))  # 1..10, already its own ranks
+        assert percentile(samples, 0.5) == 5  # ceil(5) = rank 5
+        assert percentile(samples, 0.55) == 6  # ceil(5.5) = rank 6
+        assert percentile(samples, 0.9) == 9  # ceil(9) = rank 9
+        assert percentile(samples, 0.95) == 10
+        assert percentile(samples, 0.99) == 10
+        assert percentile(samples, 1.0) == 10
+
+    def test_hundred_samples(self):
+        samples = list(range(1, 101))  # value == 1-based rank
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.90) == 90
+        assert percentile(samples, 0.95) == 95
+        assert percentile(samples, 0.99) == 99
+        assert percentile(samples, 0.999) == 100
+        assert percentile(samples, 1.0) == 100
+
+    def test_order_insensitive(self):
+        shuffled = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert percentile(shuffled, 0.6) == 3.0  # ceil(3) = rank 3
+
+    @pytest.mark.parametrize("size", [1, 2, 10, 100])
+    def test_always_returns_a_sample(self, size):
+        samples = [float(i) for i in range(size)]
+        for fraction in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert percentile(samples, fraction) in samples
+
+    @pytest.mark.parametrize("size", [1, 2, 10, 100])
+    def test_p100_is_the_maximum(self, size):
+        samples = [float(i) for i in range(size)]
+        assert percentile(samples, 1.0) == max(samples)

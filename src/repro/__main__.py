@@ -9,6 +9,9 @@ Subcommands:
 * ``python -m repro serve ...`` — the concurrent query server
   (:mod:`repro.server.cli`);
 * ``python -m repro bench-serve ...`` — the server benchmarks;
+* ``python -m repro cluster ...`` — the sharded multi-process cluster
+  (:mod:`repro.cluster.cli`);
+* ``python -m repro bench-cluster ...`` — the cluster scaling benchmark;
   everything else goes to the REPL.
 """
 
@@ -33,6 +36,14 @@ def main(argv: "list[str] | None" = None) -> int:
         from .server.cli import bench_serve_main
 
         return bench_serve_main(arguments[1:])
+    if arguments and arguments[0] == "cluster":
+        from .cluster.cli import cluster_main
+
+        return cluster_main(arguments[1:])
+    if arguments and arguments[0] == "bench-cluster":
+        from .cluster.cli import bench_cluster_main
+
+        return bench_cluster_main(arguments[1:])
     from .ui.repl import main as repl_main
 
     return repl_main(arguments)

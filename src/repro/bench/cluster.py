@@ -1,0 +1,236 @@
+"""Benchmark runner for the sharded cluster: read scaling across shards.
+
+One experiment over the fig-12 workload lifted to the cluster: seed
+disjoint full binary trees through the router (hash-partitioned by the
+entity-group prefix, so each tree is shard-local), then drive the router
+with a fixed closed-loop client population issuing *bound* ancestor
+queries — pinned, single-shard reads — at 1 shard and at N shards.
+
+The queries run with the result cache off: a cache-hot run measures the
+router's dispatch loop (identical in both configurations), while the
+uncached run measures what sharding actually buys — ``N`` backend
+*processes* evaluating recursive queries in parallel instead of one
+process doing all the work.  Think time keeps the loop interactive, and
+the per-backend reader count is sized to the client population so
+connection admission is not the bottleneck in either configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..km.partition import PartitionSpec, TablePartition
+from ..server.client import DkbClient
+from ..server.loadgen import LoadgenReport, run_loadgen
+from ..workloads.queries import ANCESTOR_RULES
+from ..workloads.relations import full_binary_trees
+from .reporting import _table
+
+#: Trees seeded by default — crc32 of ``t0..t7`` spreads them evenly over
+#: both 2 and 4 shards, so every configuration holds a balanced partition.
+DEFAULT_TREES = 8
+
+
+def cluster_partition_spec(shards: int) -> PartitionSpec:
+    """The ancestor workload's partition: trees are entity groups.
+
+    ``parent`` is hash-partitioned on its first column's ``t{k}_`` prefix,
+    and ``ancestor`` is declared routable on argument 0 — sound because a
+    tree's closure never leaves its shard.
+    """
+    return PartitionSpec(
+        shards=shards,
+        tables={"parent": TablePartition(0)},
+        routes={"ancestor": 0},
+        key_delimiter="_",
+    )
+
+
+def seed_cluster(
+    client: DkbClient, depth: int, trees: int = DEFAULT_TREES
+) -> int:
+    """Define the ancestor rules and load the trees through the router.
+
+    Returns the number of trees seeded.
+    """
+    client.define(ANCESTOR_RULES)
+    relation = full_binary_trees(trees, depth)
+    client.insert("parent", [list(edge) for edge in relation.edges])
+    return trees
+
+
+def wait_for_replicas(client: DkbClient, timeout: float = 30.0) -> bool:
+    """Block until every replica's watermark reaches its primary's version.
+
+    Replicas boot from a pre-seed snapshot; a read routed to one before
+    its first post-seed pull fails with an undefined-predicate error
+    under an unbounded-staleness policy.  Waiting on the watermarks makes
+    a freshly seeded cluster immediately queryable on every backend.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        shards = client.stats()["stats"]["shards"].values()
+        if all(
+            (replica.get("watermark") or -1)
+            >= shard["primary"]["pool"]["version"]
+            for shard in shards
+            for replica in shard["replicas"]
+        ):
+            return True
+        time.sleep(0.1)
+    return False
+
+
+def cluster_query_mix(
+    trees: int = DEFAULT_TREES, roots_per_tree: int = 3
+) -> list[dict]:
+    """Bound (pinned) uncached ancestor queries over every tree.
+
+    Roots cycle through the top heap indices of each tree, so the mix
+    spreads over all shards while every individual query stays
+    single-shard.  ``use_cache: False`` makes each request an actual
+    evaluation — the quantity that scales with backend processes.
+    """
+    return [
+        {"q": f"?- ancestor('t{tree}_{root}', Y).", "use_cache": False}
+        for tree in range(trees)
+        for root in range(1, roots_per_tree + 1)
+    ]
+
+
+@dataclass(frozen=True)
+class ClusterScalingPoint:
+    """One (shard count, client population) throughput measurement."""
+
+    shards: int
+    replicas: int
+    clients: int
+    requests: int
+    errors: int
+    busy: int
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    @classmethod
+    def from_report(
+        cls, shards: int, replicas: int, report: LoadgenReport
+    ) -> "ClusterScalingPoint":
+        return cls(
+            shards=shards,
+            replicas=replicas,
+            clients=report.clients,
+            requests=report.requests,
+            errors=report.errors,
+            busy=report.busy,
+            throughput_rps=report.throughput,
+            p50_ms=report.latency_ms["p50"],
+            p95_ms=report.latency_ms["p95"],
+            p99_ms=report.latency_ms["p99"],
+        )
+
+
+def run_cluster_scaling(
+    shard_counts: Sequence[int] = (1, 4),
+    depth: int = 8,
+    replicas: int = 0,
+    clients: int = 32,
+    duration: float = 5.0,
+    think_time: float = 0.02,
+    trees: int = DEFAULT_TREES,
+    roots_per_tree: int = 3,
+    data_dir: Optional[str] = None,
+) -> list[ClusterScalingPoint]:
+    """Router throughput at each shard count, same data and client load.
+
+    Every measurement boots a fresh multi-process cluster over the same
+    seeded workload (loaded through the router, so each configuration
+    holds its own partitioning of identical data) and drives the router
+    with ``clients`` closed-loop clients for ``duration`` seconds.
+    """
+    from ..cluster.router import ReadPolicy
+    from ..cluster.supervisor import ClusterConfig, ClusterSupervisor
+
+    queries = cluster_query_mix(trees, roots_per_tree)
+    points: list[ClusterScalingPoint] = []
+    with tempfile.TemporaryDirectory(prefix="repro_cluster_") as scratch:
+        for shards in shard_counts:
+            config = ClusterConfig(
+                spec=cluster_partition_spec(shards),
+                data_dir=data_dir or os.path.join(scratch, f"s{shards}"),
+                replicas=replicas,
+                read_policy=ReadPolicy(prefer_replica=replicas > 0),
+                # Size connection capacity to the population: the router
+                # holds one backend connection per client per shard it
+                # touches, and this experiment measures evaluation
+                # capacity, not admission shedding.
+                readers=clients + 4,
+                max_waiters=4 * clients,
+                request_timeout=duration + 30.0,
+            )
+            with ClusterSupervisor(config) as cluster:
+                host, port = cluster.address
+                with cluster.client() as seed_client:
+                    seed_cluster(seed_client, depth, trees)
+                    if replicas:
+                        wait_for_replicas(seed_client)
+                # Thread clients: forked loadgen processes compete with the
+                # shard processes for cores on small boxes, compressing the
+                # very difference being measured; the closed-loop clients
+                # spend their lives blocked on socket reads anyway.
+                report = run_loadgen(
+                    queries=queries,
+                    clients=clients,
+                    duration=duration,
+                    think_time=think_time,
+                    targets=[(host, port)],
+                    use_processes=False,
+                )
+            points.append(
+                ClusterScalingPoint.from_report(shards, replicas, report)
+            )
+    return points
+
+
+def format_cluster_scaling(points: Sequence[ClusterScalingPoint]) -> str:
+    """Text table of the shard-scaling experiment."""
+    baseline = points[0].throughput_rps if points else 0.0
+    return _table(
+        [
+            "shards", "replicas", "clients", "requests", "rps", "vs 1",
+            "p50 ms", "p95 ms", "errors", "busy",
+        ],
+        [
+            (
+                p.shards,
+                p.replicas,
+                p.clients,
+                p.requests,
+                f"{p.throughput_rps:.1f}",
+                f"{p.throughput_rps / baseline:.2f}x" if baseline else "-",
+                f"{p.p50_ms:.1f}",
+                f"{p.p95_ms:.1f}",
+                p.errors,
+                p.busy,
+            )
+            for p in points
+        ],
+    )
+
+
+__all__ = [
+    "ClusterScalingPoint",
+    "DEFAULT_TREES",
+    "cluster_partition_spec",
+    "cluster_query_mix",
+    "format_cluster_scaling",
+    "run_cluster_scaling",
+    "seed_cluster",
+    "wait_for_replicas",
+]

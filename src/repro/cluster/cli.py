@@ -1,0 +1,278 @@
+"""``python -m repro cluster`` / ``bench-cluster`` — the cluster CLIs.
+
+``cluster`` boots a sharded cluster (one process per shard, optional read
+replicas, the router in the supervising process) and serves until
+interrupted; ``--demo-depth`` seeds the ancestor workload through the
+router first so the cluster is immediately queryable.  ``bench-cluster``
+runs the shard-scaling benchmark (1 shard vs N shards under an identical
+closed-loop population), prints the table, optionally writes
+``BENCH_cluster_*.json``, and exits non-zero on protocol errors or a
+scaling regression, so CI can gate on it.
+
+Heavyweight imports happen inside the entry points, keeping
+``python -m repro``'s startup light.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+
+def _parse_spec_arguments(arguments: argparse.Namespace) -> "Any":
+    """Build the PartitionSpec from the repeatable CLI declarations."""
+    from ..km.partition import PartitionSpec, TablePartition
+
+    tables = {}
+    for declaration in arguments.partition or []:
+        name, _, column = declaration.partition(":")
+        tables[name] = TablePartition(int(column) if column else 0)
+    routes = {}
+    for declaration in arguments.route or []:
+        name, _, position = declaration.partition(":")
+        if not position:
+            raise SystemExit(
+                f"--route needs predicate:position, got {declaration!r}"
+            )
+        routes[name] = int(position)
+    return PartitionSpec(
+        shards=arguments.shards,
+        tables=tables,
+        broadcast=frozenset(arguments.broadcast or ()),
+        routes=routes,
+        key_delimiter=arguments.key_delimiter,
+    )
+
+
+def build_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Serve a sharded D/KBMS cluster: one process per "
+        "shard, optional read replicas, and a routing front-end speaking "
+        "the single-server protocol.",
+    )
+    parser.add_argument(
+        "data_dir", help="directory for the per-shard database files"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, help="hash partitions (default: 2)"
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="read replicas per shard (default: 0)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7408, help="router port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--readers",
+        type=int,
+        default=4,
+        help="reader sessions per backend server (default: 4)",
+    )
+    parser.add_argument(
+        "--partition",
+        action="append",
+        metavar="TABLE[:KEYCOL]",
+        help="hash-partition TABLE on KEYCOL (default column 0); repeatable",
+    )
+    parser.add_argument(
+        "--broadcast",
+        action="append",
+        metavar="TABLE",
+        help="replicate TABLE to every shard; repeatable",
+    )
+    parser.add_argument(
+        "--route",
+        action="append",
+        metavar="PRED:POS",
+        help="declare derived PRED routable on argument POS; repeatable",
+    )
+    parser.add_argument(
+        "--key-delimiter",
+        default="_",
+        help="entity-group prefix separator in key values (default: '_')",
+    )
+    parser.add_argument(
+        "--max-lag",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bound replica staleness to K versions behind the newest "
+        "witnessed version (default: unbounded)",
+    )
+    parser.add_argument(
+        "--no-replica-reads",
+        action="store_true",
+        help="serve every read from shard primaries",
+    )
+    parser.add_argument(
+        "--replication-poll",
+        type=float,
+        default=0.25,
+        help="replica pull cadence in seconds (default: 0.25)",
+    )
+    parser.add_argument(
+        "--demo-depth",
+        type=int,
+        default=0,
+        metavar="DEPTH",
+        help="seed the ancestor rules plus one DEPTH-level binary tree "
+        "per shard through the router before serving",
+    )
+    return parser
+
+
+def cluster_main(argv: "list[str] | None" = None) -> int:
+    from ..server.client import DkbClient
+    from .router import ReadPolicy
+    from .supervisor import ClusterConfig, ClusterSupervisor
+
+    arguments = build_cluster_parser().parse_args(argv)
+    spec = _parse_spec_arguments(arguments)
+    config = ClusterConfig(
+        spec=spec,
+        data_dir=arguments.data_dir,
+        replicas=arguments.replicas,
+        host=arguments.host,
+        router_port=arguments.port,
+        read_policy=ReadPolicy(
+            prefer_replica=not arguments.no_replica_reads,
+            max_lag=arguments.max_lag,
+        ),
+        readers=arguments.readers,
+        replication_poll=arguments.replication_poll,
+    )
+    supervisor = ClusterSupervisor(config)
+    try:
+        if arguments.demo_depth:
+            from ..bench.cluster import seed_cluster, wait_for_replicas
+
+            host, port = supervisor.address
+            with DkbClient(host, port) as client:
+                trees = seed_cluster(
+                    client, depth=arguments.demo_depth, trees=spec.shards
+                )
+                if arguments.replicas:
+                    wait_for_replicas(client)
+            print(
+                f"seeded ancestor demo ({trees} trees of depth "
+                f"{arguments.demo_depth}) through the router"
+            )
+        print(json.dumps(supervisor.describe(), indent=2))
+        host, port = supervisor.address
+        print(f"cluster router on {host}:{port}")
+        supervisor.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        supervisor.close()
+    return 0
+
+
+def build_bench_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-cluster",
+        description="Run the cluster benchmark: read throughput at 1 shard "
+        "vs N shards under the same closed-loop client population.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trees, short burst, 2 shards (for smoke tests and CI)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="scaled shard count (default: 4)"
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="read replicas per shard (default: 0)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=32,
+        help="closed-loop clients (default: 32)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds per measurement (default: 6, quick: 2.5)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_cluster_*.json artifacts into DIR",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless N-shard throughput >= X * 1-shard throughput",
+    )
+    return parser
+
+
+def bench_cluster_main(argv: "list[str] | None" = None) -> int:
+    import os
+
+    from ..bench.cluster import format_cluster_scaling, run_cluster_scaling
+    from ..bench.reporting import write_bench_json
+
+    arguments = build_bench_cluster_parser().parse_args(argv)
+    shards = 2 if arguments.quick else arguments.shards
+    depth = 5 if arguments.quick else 8
+    duration = arguments.duration or (2.5 if arguments.quick else 5.0)
+
+    points = run_cluster_scaling(
+        shard_counts=(1, shards),
+        depth=depth,
+        replicas=arguments.replicas,
+        clients=arguments.clients,
+        duration=duration,
+    )
+    print("Cluster read scaling (fig-12 ancestor mix, closed-loop clients):")
+    print(format_cluster_scaling(points))
+
+    if arguments.report:
+        os.makedirs(arguments.report, exist_ok=True)
+        print()
+        print(
+            write_bench_json(
+                os.path.join(arguments.report, "BENCH_cluster_scaling.json"),
+                "cluster_scaling",
+                points,
+                depth=depth,
+                clients=arguments.clients,
+                duration=duration,
+                replicas=arguments.replicas,
+            )
+        )
+
+    failures = []
+    if any(point.errors for point in points):
+        failures.append("protocol errors during the scaling run")
+    if arguments.min_speedup is not None:
+        baseline = points[0].throughput_rps
+        scaled = points[-1].throughput_rps
+        speedup = scaled / baseline if baseline else 0.0
+        if speedup < arguments.min_speedup:
+            failures.append(
+                f"{points[-1].shards}-shard speedup {speedup:.2f}x is below "
+                f"the {arguments.min_speedup:.2f}x floor"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(cluster_main())

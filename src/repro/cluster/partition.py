@@ -1,0 +1,153 @@
+"""The Partitioner: routing queries and updates over a PartitionSpec.
+
+The spec (:class:`~repro.km.partition.PartitionSpec`) says *where rows
+live*; the partitioner decides *where requests go*:
+
+* an **update** is split by hashing each row's partition key — every slice
+  goes to exactly the shard whose writer owns it, and broadcast relations
+  fan the whole batch to every shard;
+* a **query** is routed by inspecting its goals: when every routable goal
+  pins the same shard through a bound routing-key argument, the query is
+  *pinned* and touches one backend; when it only reads broadcast
+  relations, *any* one shard can answer; everything else *fans out* to all
+  shards and the router merges the per-shard answers.
+
+Fan-out correctness rests on the entity-group placement documented in
+:mod:`repro.km.partition`: partitioned data decomposes into shard-local
+components, so the union of per-shard closures is the global closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence, Union
+
+from ..datalog.clauses import Query
+from ..datalog.parser import parse_query
+from ..datalog.terms import Constant
+from ..km.partition import PartitionSpec
+
+#: How a query may be routed.
+PINNED = "pinned"  # one shard owns every answer
+ANY = "any"  # broadcast-only read: any single shard can answer
+FANOUT = "fanout"  # scatter to all shards, gather and merge
+
+
+@dataclass(frozen=True)
+class QueryRoute:
+    """The routing decision for one query.
+
+    Attributes:
+        kind: ``"pinned"``, ``"any"``, or ``"fanout"``.
+        shard: the owning shard for ``pinned`` routes, else ``None``.
+    """
+
+    kind: str
+    shard: "int | None" = None
+
+    @property
+    def is_pinned(self) -> bool:
+        return self.kind == PINNED
+
+
+class Partitioner:
+    """Routing logic over one :class:`PartitionSpec`."""
+
+    def __init__(self, spec: PartitionSpec):
+        self.spec = spec
+
+    @property
+    def shards(self) -> int:
+        return self.spec.shards
+
+    def all_shards(self) -> range:
+        return range(self.spec.shards)
+
+    # -- updates -----------------------------------------------------------
+
+    def split_update(
+        self, predicate: str, rows: Iterable[Sequence[Any]]
+    ) -> dict[int, list[tuple]]:
+        """Partition one update batch by owning shard.
+
+        Broadcast relations map the whole batch to *every* shard.
+        Relations the spec does not mention hash like a partitioned
+        relation keyed on column 0 — the safe default for ad-hoc base
+        relations created through the router.
+        """
+        rows = [tuple(row) for row in rows]
+        if self.spec.is_broadcast(predicate):
+            return {shard: list(rows) for shard in self.all_shards()}
+        slices: dict[int, list[tuple]] = {}
+        for row in rows:
+            if self.spec.is_partitioned(predicate):
+                shard = self.spec.shard_of_row(predicate, row)
+                assert shard is not None  # not broadcast, checked above
+            else:
+                shard = self.spec.shard_of_key(row[0])
+            slices.setdefault(shard, []).append(row)
+        return slices
+
+    # -- queries -----------------------------------------------------------
+
+    def route(self, query: Union[str, Query]) -> QueryRoute:
+        """Decide where one query must run.
+
+        A query is pinned when at least one goal binds the routing-key
+        argument of a routable predicate with a constant, and every such
+        bound goal agrees on the shard.  A query reading only broadcast
+        relations is ``any``-routed.  Everything else — unbound routable
+        goals, disagreeing pins, predicates the spec knows nothing about —
+        fans out.
+
+        Raises:
+            ParseError: the query text does not parse.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        pins: set[int] = set()
+        broadcast_only = True
+        for goal in query.goals:
+            predicate = goal.predicate
+            if not self.spec.is_broadcast(predicate):
+                broadcast_only = False
+            position = self.spec.route_key_position(predicate)
+            if position is None or position >= len(goal.terms):
+                continue
+            term = goal.terms[position]
+            if isinstance(term, Constant):
+                pins.add(self.spec.shard_of_key(term.value))
+        if broadcast_only:
+            return QueryRoute(ANY)
+        if len(pins) == 1:
+            return QueryRoute(PINNED, pins.pop())
+        return QueryRoute(FANOUT)
+
+
+def merge_rows(parts: Iterable[Iterable[Sequence[Any]]]) -> list[list[Any]]:
+    """Set-union merge of per-shard answer sets, first-seen order.
+
+    Answers from disjoint partitions are disjoint by construction, but
+    queries that also touch broadcast relations can produce the same row
+    on several shards — the merge must stay a set, exactly like the
+    ``UNION`` semantics of the single-node evaluation.
+    """
+    merged: list[list[Any]] = []
+    seen: set[tuple] = set()
+    for part in parts:
+        for row in part:
+            key = tuple(row)
+            if key not in seen:
+                seen.add(key)
+                merged.append(list(row))
+    return merged
+
+
+__all__ = [
+    "ANY",
+    "FANOUT",
+    "PINNED",
+    "Partitioner",
+    "QueryRoute",
+    "merge_rows",
+]

@@ -1,0 +1,135 @@
+"""Read replicas fed by snapshot copy, watermarked by ``dkbversion``.
+
+A replica is a second database file serving the same shard, refreshed by
+copying the primary's committed state through the backend interface
+(:meth:`~repro.dbms.engine.Database.snapshot_to`).  The persistent D/KB
+version counter the single-node server already maintains doubles as the
+**replication watermark**: after a copy, the replica's ``dkbversion`` *is*
+the primary version the copy captured, so
+
+* a replica read reports exactly which committed state it saw,
+* the router can enforce bounded staleness by sending a version floor
+  (``min_version``) that the replica checks inside its read snapshot, and
+* "how far behind is this replica" is one integer subtraction — testable,
+  not hoped-for.
+
+The :class:`Replicator` polls the primary's version and copies only when
+it advanced (a version-gated pull, the testbed analogue of log shipping);
+``sync()`` forces one replication step synchronously, which is what the
+deterministic staleness tests use instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..dbms.engine import ConnectionOptions, Database
+from ..obs.metrics import MetricsRegistry
+from ..server.pool import read_version
+
+
+class Replicator:
+    """Keeps one replica file caught up with one primary file.
+
+    Args:
+        source_path: the shard primary's database file.
+        dest_path: the replica file being served by a replica server.
+        poll_interval: seconds between watermark probes of the background
+            thread (started by :meth:`start`; ``sync()`` works without it).
+        metrics: optional registry receiving ``replica.*`` counters.
+    """
+
+    def __init__(
+        self,
+        source_path: str,
+        dest_path: str,
+        poll_interval: float = 0.25,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.source_path = source_path
+        self.dest_path = dest_path
+        self.poll_interval = poll_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # A plain reader connection to the primary: snapshot_to copies the
+        # committed state, and read_version outside a transaction sees the
+        # latest commit.  WAL mode keeps the probe from blocking the writer.
+        self._source = Database(
+            source_path, options=ConnectionOptions.reader()
+        )
+        self._lock = threading.Lock()
+        self._watermark = -1
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.copies = 0
+
+    # -- the replication step ---------------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """The primary version the replica last caught up to (-1 = never)."""
+        with self._lock:
+            return self._watermark
+
+    def lag(self) -> int:
+        """Versions the replica is currently behind the primary."""
+        with self._lock:
+            return max(0, self._source_version() - self._watermark)
+
+    def _source_version(self) -> int:
+        self._source.commit()  # leave any stale read snapshot
+        return read_version(self._source)
+
+    def sync(self) -> int:
+        """Run one replication step now; returns the new watermark.
+
+        Copies only when the primary's version moved past the watermark
+        (the version counter is the dirty flag), so an idle shard costs
+        one SELECT per poll, not one file copy.
+        """
+        with self._lock:
+            version = self._source_version()
+            if version > self._watermark:
+                self._source.snapshot_to(self.dest_path)
+                self._watermark = version
+                self.copies += 1
+                self.metrics.counter("replica.copies").inc()
+                self.metrics.gauge("replica.watermark").set(version)
+            return self._watermark
+
+    # -- background pull loop ---------------------------------------------
+
+    def start(self) -> "Replicator":
+        """Start the background pull loop; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("replicator already started")
+        self.sync()  # first copy happens before the replica serves
+        self._thread = threading.Thread(
+            target=self._run, name="dkb-replicator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.sync()
+            except Exception:  # pragma: no cover - e.g. primary closing
+                self.metrics.counter("replica.copy_errors").inc()
+
+    def close(self) -> None:
+        """Stop the pull loop and release the source connection."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._source.close()
+
+    def __enter__(self) -> "Replicator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["Replicator"]

@@ -1,0 +1,175 @@
+"""One shard of the cluster: a primary server, its replicas, their feeds.
+
+A shard is a full PR-5 concurrent query server — session pool, admission
+control, versioned result cache — over its own database file holding one
+hash partition of the EDB, plus ``replicas`` read-only copies each fed by
+a snapshot-copy :class:`~repro.cluster.replica.Replicator`.  The
+:class:`ShardRuntime` boots all of it inside one process; the supervisor
+runs one such process per shard, and the in-process ``LocalCluster`` used
+by tests runs them as threads.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..km.partition import PartitionSpec
+from ..server.service import DkbServer, ServerConfig
+from .replica import Replicator
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything one shard process needs to boot (picklable).
+
+    Attributes:
+        shard_id: this shard's number in ``spec``'s hash space.
+        path: the primary database file; replica files live beside it.
+        spec: the cluster-wide partition metadata.
+        replicas: read replicas to boot for this shard.
+        host: bind address for the primary and every replica.
+        port: primary bind port (``0`` = ephemeral); replicas always bind
+            ephemerally.
+        readers: reader sessions per server (primary and replicas alike).
+        max_waiters: admission wait-queue bound per server.
+        cache_size: result-cache entries per server.
+        request_timeout: per-query budget in seconds.
+        replication_poll: replica pull cadence in seconds.
+        trace: open pooled sessions with tracing enabled.
+    """
+
+    shard_id: int
+    path: str
+    spec: PartitionSpec
+    replicas: int = 0
+    host: str = "127.0.0.1"
+    port: int = 0
+    readers: int = 4
+    max_waiters: int = 64
+    cache_size: int = 256
+    request_timeout: "float | None" = 30.0
+    session_timeout: "float | None" = 30.0
+    replication_poll: float = 0.25
+    trace: bool = False
+
+    def replica_path(self, index: int) -> str:
+        root, extension = os.path.splitext(self.path)
+        return f"{root}.replica{index}{extension or '.sqlite'}"
+
+
+@dataclass
+class ShardAddresses:
+    """The bound addresses of one running shard (JSON/pickle friendly)."""
+
+    shard_id: int
+    primary: tuple[str, int]
+    replicas: list[tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "primary": list(self.primary),
+            "replicas": [list(address) for address in self.replicas],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardAddresses":
+        return cls(
+            shard_id=int(payload["shard_id"]),
+            primary=(str(payload["primary"][0]), int(payload["primary"][1])),
+            replicas=[
+                (str(host), int(port)) for host, port in payload["replicas"]
+            ],
+        )
+
+
+class ShardRuntime:
+    """Boots and owns one shard's primary, replicas, and replicators."""
+
+    def __init__(self, config: ShardConfig):
+        self.config = config
+        self.primary = DkbServer(
+            ServerConfig(
+                path=config.path,
+                host=config.host,
+                port=config.port,
+                readers=config.readers,
+                max_waiters=config.max_waiters,
+                session_timeout=config.session_timeout,
+                request_timeout=config.request_timeout,
+                cache_size=config.cache_size,
+                trace=config.trace,
+                shard_id=config.shard_id,
+                partition=config.spec,
+                role="primary",
+                replication_poll=config.replication_poll,
+            )
+        ).start()
+        leader = self.primary.address
+        self.replicators: list[Replicator] = []
+        self.replicas: list[DkbServer] = []
+        try:
+            for index in range(config.replicas):
+                replica_path = config.replica_path(index)
+                # The first sync (inside start()) writes a complete copy of
+                # the primary — catalog included — before the replica's own
+                # pool opens, so the replica never serves a half-built file.
+                replicator = Replicator(
+                    config.path,
+                    replica_path,
+                    poll_interval=config.replication_poll,
+                ).start()
+                self.replicators.append(replicator)
+                self.replicas.append(
+                    DkbServer(
+                        ServerConfig(
+                            path=replica_path,
+                            host=config.host,
+                            port=0,
+                            readers=config.readers,
+                            max_waiters=config.max_waiters,
+                            session_timeout=config.session_timeout,
+                            request_timeout=config.request_timeout,
+                            cache_size=config.cache_size,
+                            trace=config.trace,
+                            shard_id=config.shard_id,
+                            partition=config.spec,
+                            role="replica",
+                            leader=leader,
+                            replication_poll=config.replication_poll,
+                        )
+                    ).start()
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def addresses(self) -> ShardAddresses:
+        return ShardAddresses(
+            shard_id=self.config.shard_id,
+            primary=self.primary.address,
+            replicas=[replica.address for replica in self.replicas],
+        )
+
+    def sync_replicas(self) -> list[int]:
+        """Force one replication step on every replica; returns watermarks."""
+        return [replicator.sync() for replicator in self.replicators]
+
+    def close(self) -> None:
+        for replicator in self.replicators:
+            replicator.close()
+        for replica in self.replicas:
+            replica.close()
+        self.primary.close()
+
+    def __enter__(self) -> "ShardRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["ShardAddresses", "ShardConfig", "ShardRuntime"]

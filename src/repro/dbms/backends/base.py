@@ -51,6 +51,11 @@ class BackendCapabilities:
             its session state (temp tables, transactions), which is what
             makes the prepared-statement cursor cache sound.  Engines whose
             ``.cursor()`` clones the connection (DuckDB) must run uncached.
+        supports_snapshot_copy: the engine can copy a transactionally
+            consistent snapshot of the whole database into another database
+            file while both stay live (SQLite's online backup API) — the
+            replication transport of the cluster's read replicas
+            (:mod:`repro.cluster.replica`).
     """
 
     supports_recursive_cte: bool = True
@@ -60,6 +65,7 @@ class BackendCapabilities:
     supports_changes_function: bool = False
     supports_interrupt: bool = False
     supports_shared_cursors: bool = False
+    supports_snapshot_copy: bool = False
 
 
 class SqlBackend(abc.ABC):
@@ -111,6 +117,20 @@ class SqlBackend(abc.ABC):
         """Abort the statement running on ``connection``, if supported."""
         if self.capabilities.supports_interrupt:
             connection.interrupt()
+
+    def snapshot_to(self, connection: Any, dest_path: str) -> None:
+        """Copy a consistent snapshot of ``connection``'s database to a file.
+
+        The copy is transactionally consistent — readers of the destination
+        see either the old database or the new one, never a torn mix — and
+        both databases stay live throughout.
+
+        Raises:
+            NotImplementedError: when ``supports_snapshot_copy`` is False.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support snapshot copy"
+        )
 
     # -- catalog introspection ----------------------------------------------
 

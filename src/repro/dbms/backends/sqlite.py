@@ -30,6 +30,7 @@ class SqliteBackend(SqlBackend):
         supports_changes_function=True,
         supports_interrupt=True,
         supports_shared_cursors=True,
+        supports_snapshot_copy=True,
     )
 
     def connect(self, path: str, options: "ConnectionOptions") -> Any:
@@ -73,3 +74,15 @@ class SqliteBackend(SqlBackend):
     ) -> str:
         # SQLite attaches the WITH clause before the INSERT keyword.
         return f"WITH RECURSIVE {with_clause} {insert_into} {select_stmt}"
+
+    def snapshot_to(self, connection: Any, dest_path: str) -> None:
+        # The online backup API: copies the whole main database inside one
+        # destination write transaction, so destination readers switch
+        # atomically from the old snapshot to the new — including a live
+        # WAL-mode replica file served by another process's session pool.
+        dest = sqlite3.connect(dest_path)
+        try:
+            dest.execute("PRAGMA busy_timeout = 10000")
+            connection.backup(dest)
+        finally:
+            dest.close()

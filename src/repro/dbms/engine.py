@@ -528,6 +528,32 @@ class Database:
         """Roll back the current transaction."""
         self.backend.rollback(self._connection)
 
+    def snapshot_to(self, dest_path: str) -> None:
+        """Copy a consistent snapshot of this database into ``dest_path``.
+
+        The cluster's replication transport: a replica file is refreshed by
+        copying the primary's current committed state, atomically from the
+        perspective of the replica's own readers.  Goes through the backend
+        interface so a second engine only needs to implement
+        ``SqlBackend.snapshot_to`` to gain replicas.
+
+        Raises:
+            EvaluationError: the backend has no snapshot-copy support
+                (``supports_snapshot_copy``), or the copy failed.
+        """
+        if not self.backend.capabilities.supports_snapshot_copy:
+            raise EvaluationError(
+                f"backend {self.backend.name!r} does not support "
+                "snapshot copy"
+            )
+        with self._execute_lock:
+            try:
+                self.backend.snapshot_to(self._connection, dest_path)
+            except self.backend.driver_errors as error:
+                raise EvaluationError(
+                    f"snapshot copy to {dest_path!r} failed: {error}"
+                ) from error
+
     @contextlib.contextmanager
     def transaction(self) -> Iterator[None]:
         """Run the block as one explicit transaction (fast-path batching).

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from ..dbms.engine import DEFAULT_STATEMENT_CACHE_SIZE, ConnectionOptions
 from ..maintenance.dred import MaintenancePolicy
 from ..runtime.context import FastPathConfig
+from .partition import PartitionSpec
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,13 @@ class TestbedConfig:
             (see :func:`repro.dbms.backends.registered_backends`).  The
             default ``"sqlite"`` preserves the seed behaviour exactly;
             ``"duckdb"`` needs the optional ``duckdb`` package installed.
+        partition: how the cluster splits the EDB across shards
+            (:class:`~repro.km.partition.PartitionSpec`); ``None`` for the
+            single-node testbed.  With ``shard_index`` set, fact loads
+            into partitioned relations reject rows this shard does not
+            own — the deepest layer of the cluster's WRONG_SHARD defense.
+        shard_index: which hash partition this session's database holds
+            (``None`` outside a cluster).
     """
 
     # Not a test class, despite the name — keeps pytest collection quiet.
@@ -70,3 +78,5 @@ class TestbedConfig:
     trace: bool = False
     connection: ConnectionOptions = field(default_factory=ConnectionOptions)
     backend: str = "sqlite"
+    partition: PartitionSpec | None = None
+    shard_index: int | None = None

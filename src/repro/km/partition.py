@@ -1,0 +1,154 @@
+"""Partition metadata: how the extensional database is split across shards.
+
+The cluster (see :mod:`repro.cluster`) hash-partitions base relations over
+``shards`` backend D/KBMS processes.  The *metadata* describing that split
+lives here in ``km`` — a :class:`PartitionSpec` value carried by
+:class:`~repro.km.config.TestbedConfig` — so a shard's own sessions know
+which slice of the EDB they hold, while the routing logic built on top of
+the spec stays in :mod:`repro.cluster.partition`.
+
+Placement is by **entity group**: the partition key of a value is its
+prefix up to ``key_delimiter`` (``"t3_17"`` → ``"t3"``), so all rows of one
+entity group — one tree, one tenant, one connected component — land on the
+same shard.  That is the co-location discipline that makes single-shard
+routing of *recursive* queries sound: a derived predicate may be declared
+routable (:attr:`PartitionSpec.routes`) exactly when its closure never
+crosses entity groups, which holds by construction for the testbed's
+disjoint graph families.  Small dictionary relations go in the
+``broadcast`` class instead: replicated to every shard on write, readable
+anywhere, usable in any shard-local join.
+
+Hashing uses :func:`zlib.crc32`, not Python's salted ``hash()``, so every
+process of the cluster — router, supervisor, shards, test harnesses —
+agrees on row placement.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class TablePartition:
+    """How one base relation is hash-partitioned.
+
+    Attributes:
+        key_column: 0-based column whose (entity-group) partition key
+            places each row.
+    """
+
+    key_column: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"key_column": self.key_column}
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """The cluster-wide description of how the EDB is split.
+
+    Attributes:
+        shards: number of hash partitions (>= 1).
+        tables: partitioned base relations, by predicate name.
+        broadcast: relations replicated to every shard (small dictionary
+            relations; writes fan out, any shard can answer).
+        routes: queryable predicate -> argument position of its routing
+            key.  Partitioned base relations are implicitly routable on
+            their key column; listing a *derived* predicate here asserts
+            that its evaluation is shard-local under the entity-group
+            placement (e.g. ``ancestor`` over disjoint trees).
+        key_delimiter: separator ending the entity-group prefix of a key
+            value; ``None`` hashes the whole value.
+    """
+
+    shards: int
+    tables: Mapping[str, TablePartition] = field(default_factory=dict)
+    broadcast: frozenset[str] = frozenset()
+    routes: Mapping[str, int] = field(default_factory=dict)
+    key_delimiter: "str | None" = "_"
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if not isinstance(self.broadcast, frozenset):
+            object.__setattr__(self, "broadcast", frozenset(self.broadcast))
+        overlap = sorted(self.broadcast & set(self.tables))
+        if overlap:
+            raise ValueError(
+                f"relations cannot be both partitioned and broadcast: {overlap}"
+            )
+
+    # -- placement ---------------------------------------------------------
+
+    def partition_key(self, value: Any) -> str:
+        """The entity-group key of one column value."""
+        text = str(value)
+        if self.key_delimiter:
+            return text.split(self.key_delimiter, 1)[0]
+        return text
+
+    def shard_of_key(self, value: Any) -> int:
+        """The shard owning ``value``'s entity group (deterministic)."""
+        key = self.partition_key(value).encode("utf-8")
+        return zlib.crc32(key) % self.shards
+
+    def shard_of_row(self, predicate: str, row: Any) -> "int | None":
+        """The shard owning one row, or ``None`` for broadcast relations.
+
+        Raises:
+            KeyError: ``predicate`` is neither partitioned nor broadcast.
+        """
+        if predicate in self.broadcast:
+            return None
+        table = self.tables[predicate]
+        return self.shard_of_key(row[table.key_column])
+
+    def is_partitioned(self, predicate: str) -> bool:
+        return predicate in self.tables
+
+    def is_broadcast(self, predicate: str) -> bool:
+        return predicate in self.broadcast
+
+    def route_key_position(self, predicate: str) -> "int | None":
+        """The routing-key argument position of a queryable predicate."""
+        if predicate in self.routes:
+            return self.routes[predicate]
+        table = self.tables.get(predicate)
+        if table is not None:
+            return table.key_column
+        return None
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (shipped to shard processes and stats)."""
+        return {
+            "shards": self.shards,
+            "tables": {
+                name: table.to_dict() for name, table in self.tables.items()
+            },
+            "broadcast": sorted(self.broadcast),
+            "routes": dict(self.routes),
+            "key_delimiter": self.key_delimiter,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PartitionSpec":
+        return cls(
+            shards=int(payload["shards"]),
+            tables={
+                name: TablePartition(int(table["key_column"]))
+                for name, table in dict(payload.get("tables", {})).items()
+            },
+            broadcast=frozenset(payload.get("broadcast", ())),
+            routes={
+                name: int(position)
+                for name, position in dict(payload.get("routes", {})).items()
+            },
+            key_delimiter=payload.get("key_delimiter"),
+        )
+
+
+__all__ = ["PartitionSpec", "TablePartition"]

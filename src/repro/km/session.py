@@ -28,7 +28,7 @@ from ..dbms.catalog import ExtensionalCatalog, fact_table_name
 from ..dbms.engine import Database
 from ..dbms.schema import RelationSchema, quote_identifier
 from ..dbms.sqlgen import compile_rule_body
-from ..errors import CatalogError, SemanticError
+from ..errors import CatalogError, EvaluationError, SemanticError
 from ..maintenance.delta import propagate_inserts
 from ..maintenance.dred import DeleteMaintenance
 from ..maintenance.plan import (
@@ -310,10 +310,27 @@ class Testbed:
                 "define_base_relation first"
             )
         rows = [tuple(row) for row in rows]
+        self._check_partition_ownership(predicate, rows)
         affected = self.views.fresh_views_on_base(predicate)
         if not affected:
             return self.catalog.insert_facts(predicate, rows)
         return self._maintain_inserts(predicate, rows, affected)
+
+    def _check_partition_ownership(
+        self, predicate: str, rows: Sequence[tuple]
+    ) -> None:
+        """Reject rows a sharded session's hash partition does not own."""
+        spec = self.config.partition
+        shard = self.config.shard_index
+        if spec is None or shard is None or not spec.is_partitioned(predicate):
+            return
+        for row in rows:
+            owner = spec.shard_of_row(predicate, row)
+            if owner != shard:
+                raise EvaluationError(
+                    f"row {row!r} of partitioned relation {predicate!r} "
+                    f"belongs to shard {owner}, not this shard ({shard})"
+                )
 
     def delete_facts(self, predicate: str, rows: Iterable[Sequence]) -> int:
         """Delete tuples from a base relation; returns the count removed.

@@ -25,9 +25,14 @@ Layers:
 
 from .admission import AdmissionController, AdmissionTimeout, ServerBusy
 from .cache import VersionedResultCache, canonical_query
-from .client import DkbClient, ServerError
+from .client import (
+    DkbClient,
+    ServerError,
+    StaleReplicaError,
+    WrongShardError,
+)
 from .loadgen import LoadgenReport, run_loadgen
-from .pool import ReadResult, SessionPool
+from .pool import ReadResult, SessionPool, StaleSnapshot
 from .protocol import ErrorCode, ProtocolError
 from .service import DkbServer, ServerConfig
 
@@ -44,7 +49,10 @@ __all__ = [
     "ServerConfig",
     "ServerError",
     "SessionPool",
+    "StaleReplicaError",
+    "StaleSnapshot",
     "VersionedResultCache",
+    "WrongShardError",
     "canonical_query",
     "run_loadgen",
 ]

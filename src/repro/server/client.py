@@ -16,12 +16,63 @@ from .protocol import (
 
 
 class ServerError(Exception):
-    """A structured error reply from the server."""
+    """A structured error reply from the server.
 
-    def __init__(self, code: str, message: str):
+    ``details`` carries the machine-readable hints of the error object
+    (empty for most codes); the retryable cluster codes are raised as the
+    typed subclasses below so callers can catch them specifically.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        details: Optional[dict[str, Any]] = None,
+    ):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.details: dict[str, Any] = dict(details) if details else {}
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Seconds after which a retry may succeed (``None`` = no hint)."""
+        value = self.details.get("retry_after")
+        return float(value) if value is not None else None
+
+    @property
+    def leader(self) -> Optional[tuple[str, int]]:
+        """``(host, port)`` of the backend that can serve this request."""
+        value = self.details.get("leader")
+        if not value:
+            return None
+        host, port = value
+        return str(host), int(port)
+
+
+class WrongShardError(ServerError):
+    """The request reached a shard that does not own its key.
+
+    Retryable: re-route using ``leader`` (when hinted) or a refreshed
+    partition map.  ``details['shard']`` is the replying shard's id.
+    """
+
+
+class StaleReplicaError(ServerError):
+    """A replica read could not satisfy the request's version floor.
+
+    Retryable: wait ``retry_after`` seconds for replication to catch up, or
+    go straight to the shard primary named by ``leader``.
+    ``details['version']`` is the replica's watermark,
+    ``details['min_version']`` the floor that failed.
+    """
+
+
+#: error code -> exception class raised by :meth:`DkbClient.request`.
+_TYPED_ERRORS: dict[str, type[ServerError]] = {
+    ErrorCode.WRONG_SHARD: WrongShardError,
+    ErrorCode.STALE_REPLICA: StaleReplicaError,
+}
 
 
 class DkbClient:
@@ -79,8 +130,9 @@ class DkbClient:
         reply = decode_line(line)
         if not reply.get("ok"):
             error = reply.get("error") or {}
-            raise ServerError(
-                error.get("code", "INTERNAL"), error.get("message", "")
+            code = error.get("code", "INTERNAL")
+            raise _TYPED_ERRORS.get(code, ServerError)(
+                code, error.get("message", ""), error.get("details")
             )
         return reply
 
@@ -97,6 +149,8 @@ class DkbClient:
         optimize: Optional[bool] = None,
         use_views: Optional[bool] = None,
         use_cache: Optional[bool] = None,
+        min_version: Optional[int] = None,
+        shard: Optional[int] = None,
     ) -> dict[str, Any]:
         return self.request(
             "query",
@@ -106,16 +160,28 @@ class DkbClient:
             optimize=optimize,
             use_views=use_views,
             use_cache=use_cache,
+            min_version=min_version,
+            shard=shard,
         )
 
-    def insert(self, predicate: str, rows: list) -> dict[str, Any]:
+    def insert(
+        self,
+        predicate: str,
+        rows: list,
+        shard: Optional[int] = None,
+        types: Optional[list[str]] = None,
+    ) -> dict[str, Any]:
         return self.request(
-            "update", predicate=predicate, action="insert", rows=rows
+            "update", predicate=predicate, action="insert", rows=rows,
+            shard=shard, types=types,
         )
 
-    def delete(self, predicate: str, rows: list) -> dict[str, Any]:
+    def delete(
+        self, predicate: str, rows: list, shard: Optional[int] = None
+    ) -> dict[str, Any]:
         return self.request(
-            "update", predicate=predicate, action="delete", rows=rows
+            "update", predicate=predicate, action="delete", rows=rows,
+            shard=shard,
         )
 
     def define(self, program: str) -> dict[str, Any]:

@@ -27,8 +27,21 @@ from typing import Any, Optional, Sequence, Union
 from .client import DkbClient, ServerError
 
 QuerySpec = Union[str, dict]
+#: One loadgen target: ``(host, port)`` or a ``"host:port"`` string.
+Target = Union[tuple[str, int], str]
 
 _SHED_CODES = frozenset({"SERVER_BUSY", "TIMEOUT", "SHUTTING_DOWN"})
+
+
+def parse_target(target: Target) -> tuple[str, int]:
+    """Normalize one target address to ``(host, port)``."""
+    if isinstance(target, str):
+        host, _, port = target.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"target must look like host:port, got {target!r}")
+        return host, int(port)
+    host, port = target
+    return str(host), int(port)
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -58,6 +71,9 @@ class LoadgenReport:
     cached: int
     throughput: float
     latency_ms: dict[str, float] = field(default_factory=dict)
+    #: successful requests per target address ("host:port"), for runs that
+    #: spread clients over several targets (router vs direct-shard A/B).
+    by_target: dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_fraction(self) -> float:
@@ -76,6 +92,7 @@ class LoadgenReport:
             "cache_hit_fraction": self.cache_hit_fraction,
             "throughput_rps": self.throughput,
             "latency_ms": dict(self.latency_ms),
+            "by_target": dict(self.by_target),
         }
 
 
@@ -131,25 +148,27 @@ def _client_loop(
             "busy": busy,
             "cached": cached,
             "latencies": latencies,
+            "target": f"{host}:{port}",
         }
     )
 
 
 def run_loadgen(
-    host: str,
-    port: int,
-    queries: Sequence[QuerySpec],
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    queries: Sequence[QuerySpec] = (),
     clients: int = 8,
     duration: float = 5.0,
     think_time: float = 0.02,
     reconnect_every: int = 5,
     connect_timeout: float = 30.0,
     use_processes: Optional[bool] = None,
+    targets: Optional[Sequence[Target]] = None,
 ) -> LoadgenReport:
-    """Drive the server with ``clients`` closed-loop clients for ``duration``.
+    """Drive one or more servers with ``clients`` closed-loop clients.
 
     Args:
-        host, port: the server's bound address.
+        host, port: the server's bound address (single-target form).
         queries: the query mix, round-robined per client (strings or
             ``{"q": ..., "bindings": ...}`` dicts).
         clients: number of concurrent simulated clients.
@@ -159,6 +178,12 @@ def run_loadgen(
             session slots recycle across clients.
         use_processes: fork one process per client (default: yes when the
             platform supports ``fork``; else threads).
+        targets: several addresses instead of ``host``/``port`` — client
+            ``i`` drives ``targets[i % len(targets)]`` for its whole run
+            (per-client round-robin assignment), so one run can spread an
+            identical population over a router and its shards for an A/B
+            comparison.  ``LoadgenReport.by_target`` breaks the successful
+            requests down per address.
 
     Returns:
         The aggregated :class:`LoadgenReport`.
@@ -167,9 +192,24 @@ def run_loadgen(
         raise ValueError("queries must be non-empty")
     if clients <= 0:
         raise ValueError(f"clients must be positive, got {clients}")
+    if targets:
+        if host is not None or port is not None:
+            raise ValueError("pass either host/port or targets, not both")
+        addresses = [parse_target(target) for target in targets]
+    else:
+        if host is None or port is None:
+            raise ValueError("host and port are required without targets")
+        addresses = [(host, int(port))]
     normalized = [_normalize(spec) for spec in queries]
     if use_processes is None:
         use_processes = "fork" in multiprocessing.get_all_start_methods()
+
+    def worker_args(index: int) -> tuple:
+        target_host, target_port = addresses[index % len(addresses)]
+        return (
+            target_host, target_port, index, duration, think_time,
+            normalized, reconnect_every, connect_timeout, out,
+        )
 
     out: Any
     workers: list[Any]
@@ -178,12 +218,7 @@ def run_loadgen(
         out = context.Queue()
         workers = [
             context.Process(
-                target=_client_loop,
-                args=(
-                    host, port, index, duration, think_time,
-                    normalized, reconnect_every, connect_timeout, out,
-                ),
-                daemon=True,
+                target=_client_loop, args=worker_args(index), daemon=True
             )
             for index in range(clients)
         ]
@@ -191,12 +226,7 @@ def run_loadgen(
         out = queue_module.Queue()
         workers = [
             threading.Thread(
-                target=_client_loop,
-                args=(
-                    host, port, index, duration, think_time,
-                    normalized, reconnect_every, connect_timeout, out,
-                ),
-                daemon=True,
+                target=_client_loop, args=worker_args(index), daemon=True
             )
             for index in range(clients)
         ]
@@ -211,6 +241,10 @@ def run_loadgen(
 
     latencies = [sample for result in results for sample in result["latencies"]]
     requests = sum(result["requests"] for result in results)
+    by_target: dict[str, int] = {}
+    for result in results:
+        address = result["target"]
+        by_target[address] = by_target.get(address, 0) + result["requests"]
     report = LoadgenReport(
         clients=clients,
         duration_seconds=elapsed,
@@ -227,5 +261,6 @@ def run_loadgen(
             "p95": percentile(latencies, 0.95) * 1000.0,
             "p99": percentile(latencies, 0.99) * 1000.0,
         },
+        by_target=by_target,
     )
     return report

@@ -35,6 +35,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 from ..dbms.engine import ConnectionOptions, Database
 from ..errors import EvaluationError, TestbedError
 from ..km.config import TestbedConfig
+from ..km.partition import PartitionSpec
 from ..km.session import Testbed
 from ..obs.metrics import MetricsRegistry
 from ..runtime.context import FastPathConfig
@@ -51,6 +52,25 @@ class RequestTimeout(AdmissionError):
     """A read query exceeded its time budget and was interrupted."""
 
     code = ErrorCode.TIMEOUT
+
+
+class StaleSnapshot(Exception):
+    """A read's snapshot version is below the request's version floor.
+
+    Raised by :meth:`ReaderSession.query` when the caller demanded
+    ``min_version`` (a read-your-writes token or a bounded-staleness floor)
+    and this database — typically a replica fed by snapshot copy — has not
+    replicated that far yet.  The service layer maps it to a retryable
+    ``STALE_REPLICA`` reply carrying the leader hint.
+    """
+
+    def __init__(self, version: int, min_version: int):
+        super().__init__(
+            f"snapshot at version {version} is below the requested "
+            f"floor {min_version}"
+        )
+        self.version = version
+        self.min_version = min_version
 
 
 @dataclass(frozen=True)
@@ -106,6 +126,7 @@ class ReaderSession:
         use_views: bool = True,
         use_cache: bool = True,
         timeout: Optional[float] = None,
+        min_version: Optional[int] = None,
     ) -> ReadResult:
         """Serve one read query from a consistent D/KB snapshot.
 
@@ -114,9 +135,15 @@ class ReaderSession:
         the answer corresponds to exactly one D/KB version even while the
         writer commits concurrently.
 
+        ``min_version`` is the caller's staleness floor: the read is only
+        served when the snapshot's D/KB version is at least that — the
+        mechanism behind the cluster's read-your-writes tokens and
+        ``max_lag`` replica policy.
+
         Raises:
             RequestTimeout: the evaluation ran past ``timeout`` seconds and
                 was interrupted.
+            StaleSnapshot: the snapshot is below ``min_version``.
             TestbedError: compilation or evaluation failed.
         """
         key = canonical_query(query, bindings)
@@ -146,6 +173,8 @@ class ReaderSession:
         try:
             with database.transaction():
                 version = read_version(database)
+                if min_version is not None and version < min_version:
+                    raise StaleSnapshot(version, min_version)
                 if cache is not None:
                     hit = cache.get(key, version)
                     if hit is not None:
@@ -208,6 +237,11 @@ class SessionPool:
             not the paper-faithful measurement path).
         metrics: registry receiving the ``server.*`` metric families.
         trace: open every pooled session with structured tracing enabled.
+        partition: cluster partition metadata recorded on every session's
+            :class:`~repro.km.config.TestbedConfig` (with ``shard_index``),
+            so a shard's writer rejects rows its hash partition does not
+            own.  ``None`` outside a cluster.
+        shard_index: which partition this pool's database holds.
     """
 
     def __init__(
@@ -220,6 +254,8 @@ class SessionPool:
         reader_fastpath: Optional[FastPathConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
+        partition: "PartitionSpec | None" = None,
+        shard_index: Optional[int] = None,
     ):
         if path == ":memory:":
             raise ValueError(
@@ -244,6 +280,8 @@ class SessionPool:
                 path=path,
                 connection=ConnectionOptions.writer(),
                 trace=trace,
+                partition=partition,
+                shard_index=shard_index,
             )
         )
         ensure_version_table(self.writer.database)
@@ -254,6 +292,8 @@ class SessionPool:
             connection=ConnectionOptions.reader(),
             fastpath=reader_fastpath,
             trace=trace,
+            partition=partition,
+            shard_index=shard_index,
         )
         self._sessions = [
             ReaderSession(self, Testbed(reader_config), index)
@@ -357,16 +397,24 @@ class SessionPool:
         predicate: str,
         rows: Iterable[Sequence],
         timeout: float | None = None,
+        types: "Sequence[str] | None" = None,
     ) -> int:
-        """Versioned bulk fact load (creates the relation on first use)."""
+        """Versioned bulk fact load (creates the relation on first use).
+
+        ``types`` lets an *empty* load still create the relation — the
+        cluster router uses this to materialize a partitioned relation's
+        schema on shards that own none of its rows (so shard-local
+        evaluation of rules reading it sees an empty relation, not a
+        missing one).
+        """
         rows = [tuple(row) for row in rows]
         with self.write(timeout) as testbed:
-            if not testbed.catalog.has_relation(predicate) and rows:
-                types = tuple(
+            if not testbed.catalog.has_relation(predicate) and (rows or types):
+                schema = tuple(types) if types else tuple(
                     "INTEGER" if isinstance(value, int) else "TEXT"
                     for value in rows[0]
                 )
-                testbed.define_base_relation(predicate, types)
+                testbed.define_base_relation(predicate, schema)
             return testbed.load_facts(predicate, rows)
 
     def delete_facts(
@@ -433,6 +481,7 @@ __all__ = [
     "ReaderSession",
     "RequestTimeout",
     "SessionPool",
+    "StaleSnapshot",
     "canonical_query",
     "ensure_version_table",
     "read_version",

@@ -31,6 +31,11 @@ class ErrorCode:
     EVALUATION_ERROR = "EVALUATION_ERROR"  # the D/KBMS rejected the operation
     SHUTTING_DOWN = "SHUTTING_DOWN"  # the server is stopping
     INTERNAL = "INTERNAL"  # unexpected server-side failure
+    # Cluster codes — both *retryable*: the request was sound but landed on
+    # the wrong backend (or one not yet caught up); the structured hints
+    # (``retry_after``, ``leader``) tell the caller where/when to retry.
+    WRONG_SHARD = "WRONG_SHARD"  # request routed to a non-owning shard
+    STALE_REPLICA = "STALE_REPLICA"  # replica behind the caller's version floor
 
     ALL = frozenset(
         {
@@ -41,19 +46,37 @@ class ErrorCode:
             EVALUATION_ERROR,
             SHUTTING_DOWN,
             INTERNAL,
+            WRONG_SHARD,
+            STALE_REPLICA,
         }
     )
 
+    #: Codes a client may retry (elsewhere, or after ``retry_after``).
+    RETRYABLE = frozenset({SERVER_BUSY, TIMEOUT, WRONG_SHARD, STALE_REPLICA})
+
 
 class ProtocolError(Exception):
-    """A request that cannot be served, with its structured error code."""
+    """A request that cannot be served, with its structured error code.
 
-    def __init__(self, code: str, message: str):
+    ``details`` carries optional machine-readable hints beside the message:
+    ``retry_after`` (seconds until a retry may succeed), ``leader`` (the
+    ``[host, port]`` of the backend that *can* serve the request), and
+    code-specific context such as ``version``/``min_version`` for
+    ``STALE_REPLICA`` or ``shard`` for ``WRONG_SHARD``.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        details: "Mapping[str, Any] | None" = None,
+    ):
         if code not in ErrorCode.ALL:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)
         self.code = code
         self.message = message
+        self.details: dict[str, Any] = dict(details) if details else {}
 
 
 #: op -> (required fields, optional fields); every request may also carry
@@ -62,11 +85,24 @@ REQUEST_FIELDS: dict[str, tuple[frozenset[str], frozenset[str]]] = {
     "ping": (frozenset(), frozenset()),
     "query": (
         frozenset({"q"}),
-        frozenset({"bindings", "strategy", "optimize", "use_views", "use_cache"}),
+        frozenset(
+            {
+                "bindings",
+                "strategy",
+                "optimize",
+                "use_views",
+                "use_cache",
+                "min_version",
+                "shard",
+            }
+        ),
     ),
-    "update": (frozenset({"predicate", "action", "rows"}), frozenset()),
-    "define": (frozenset({"program"}), frozenset()),
-    "materialize": (frozenset({"predicate"}), frozenset()),
+    "update": (
+        frozenset({"predicate", "action", "rows"}),
+        frozenset({"shard", "types"}),
+    ),
+    "define": (frozenset({"program"}), frozenset({"shard"})),
+    "materialize": (frozenset({"predicate"}), frozenset({"shard"})),
     "lint": (frozenset(), frozenset({"q"})),
     "stats": (frozenset(), frozenset()),
 }
@@ -116,6 +152,16 @@ def validate_request(message: Any) -> dict[str, Any]:
         raise ProtocolError(
             ErrorCode.BAD_REQUEST, "field 'bindings' must be an object"
         )
+    for name in ("min_version", "shard"):
+        if name in message and (
+            isinstance(message[name], bool)
+            or not isinstance(message[name], int)
+            or message[name] < 0
+        ):
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                f"field {name!r} must be a non-negative integer",
+            )
     if op == "update":
         action = message["action"]
         if action not in UPDATE_ACTIONS:
@@ -129,6 +175,15 @@ def validate_request(message: Any) -> dict[str, Any]:
         ):
             raise ProtocolError(
                 ErrorCode.BAD_REQUEST, "field 'rows' must be a list of rows"
+            )
+        types = message.get("types")
+        if types is not None and (
+            not isinstance(types, list)
+            or not all(isinstance(name, str) for name in types)
+        ):
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST,
+                "field 'types' must be a list of type-name strings",
             )
     return message
 
@@ -169,10 +224,18 @@ def ok_reply(request_id: Any, **fields: Any) -> dict[str, Any]:
     return reply
 
 
-def error_reply(request_id: Any, code: str, message: str) -> dict[str, Any]:
-    """A structured error reply echoing the request id."""
-    return {
-        "ok": False,
-        "id": request_id,
-        "error": {"code": code, "message": message},
-    }
+def error_reply(
+    request_id: Any,
+    code: str,
+    message: str,
+    details: "Mapping[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """A structured error reply echoing the request id.
+
+    ``details`` (when non-empty) rides inside the error object — the
+    retryable cluster codes use it for ``retry_after``/``leader`` hints.
+    """
+    error: dict[str, Any] = {"code": code, "message": message}
+    if details:
+        error["details"] = dict(details)
+    return {"ok": False, "id": request_id, "error": error}

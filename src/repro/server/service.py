@@ -21,12 +21,13 @@ from dataclasses import dataclass, field
 from typing import Any, BinaryIO, Optional
 
 from ..errors import ParseError, TestbedError
+from ..km.partition import PartitionSpec
 from ..obs.metrics import MetricsRegistry
 from ..runtime.context import FastPathConfig
 from ..runtime.program import LfpStrategy
 from .admission import AdmissionError
 from .cache import VersionedResultCache
-from .pool import ReaderSession, SessionPool
+from .pool import ReaderSession, SessionPool, StaleSnapshot
 from .protocol import (
     PROTOCOL_VERSION,
     ErrorCode,
@@ -58,6 +59,20 @@ class ServerConfig:
             cache entirely.
         reader_fastpath: execution configuration for reader sessions.
         trace: open pooled sessions with structured tracing enabled.
+        shard_id: this server's shard number inside a cluster (``None``
+            for the single-node server).  When set, requests carrying a
+            ``shard`` field that names a different shard are refused with
+            the retryable ``WRONG_SHARD`` code, and updates into
+            partitioned relations are hash-checked against ``partition``.
+        partition: the cluster's partition metadata (for the ownership
+            check and the sessions' TestbedConfig).
+        role: ``"primary"`` serves reads and writes; a ``"replica"``
+            (fed by snapshot copy) refuses every mutating op with
+            ``WRONG_SHARD`` + a ``leader`` hint.
+        leader: advertised ``(host, port)`` of this shard's primary —
+            carried in ``STALE_REPLICA``/``WRONG_SHARD`` hints.
+        replication_poll: the replica refresh cadence advertised as
+            ``retry_after`` in ``STALE_REPLICA`` replies.
     """
 
     path: str
@@ -70,8 +85,17 @@ class ServerConfig:
     cache_size: int = 256
     reader_fastpath: Optional[FastPathConfig] = None
     trace: bool = False
+    shard_id: Optional[int] = None
+    partition: Optional[PartitionSpec] = None
+    role: str = "primary"
+    leader: Optional[tuple[str, int]] = None
+    replication_poll: float = 0.25
 
     pool_kwargs: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.role not in ("primary", "replica"):
+            raise ValueError(f"role must be primary or replica: {self.role!r}")
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -109,7 +133,16 @@ class _Handler(socketserver.StreamRequestHandler):
                 reply = dkb.dispatch(message, session)
                 reply["id"] = request_id
             except ProtocolError as error:
-                reply = error_reply(request_id, error.code, error.message)
+                reply = error_reply(
+                    request_id, error.code, error.message, error.details
+                )
+            except StaleSnapshot as error:
+                reply = error_reply(
+                    request_id,
+                    ErrorCode.STALE_REPLICA,
+                    str(error),
+                    dkb.stale_details(error),
+                )
             except AdmissionError as error:
                 reply = error_reply(request_id, error.code, str(error))
             except ParseError as error:
@@ -174,6 +207,8 @@ class DkbServer:
             reader_fastpath=config.reader_fastpath,
             metrics=self.metrics,
             trace=config.trace,
+            partition=config.partition,
+            shard_index=config.shard_id,
             **config.pool_kwargs,
         )
         self._tcp = _TcpServer((config.host, config.port), _Handler)
@@ -223,18 +258,71 @@ class DkbServer:
 
     # -- request dispatch --------------------------------------------------
 
+    # -- cluster helpers ---------------------------------------------------
+
+    def stale_details(self, error: StaleSnapshot) -> dict[str, Any]:
+        """The structured hint payload of a ``STALE_REPLICA`` reply."""
+        details: dict[str, Any] = {
+            "version": error.version,
+            "min_version": error.min_version,
+            "retry_after": self.config.replication_poll,
+        }
+        if self.config.leader is not None:
+            details["leader"] = list(self.config.leader)
+        return details
+
+    def _check_shard(self, message: dict[str, Any]) -> None:
+        """Refuse requests addressed to a different shard (retryable)."""
+        target = message.get("shard")
+        if target is None or self.config.shard_id is None:
+            return
+        if target != self.config.shard_id:
+            raise ProtocolError(
+                ErrorCode.WRONG_SHARD,
+                f"request addressed to shard {target}, but this is "
+                f"shard {self.config.shard_id}",
+                {"shard": self.config.shard_id},
+            )
+
+    def _check_writable(self, op: str) -> None:
+        """Replicas refuse every mutating op, pointing at the primary."""
+        if self.config.role == "replica":
+            details: dict[str, Any] = {}
+            if self.config.shard_id is not None:
+                details["shard"] = self.config.shard_id
+            if self.config.leader is not None:
+                details["leader"] = list(self.config.leader)
+            raise ProtocolError(
+                ErrorCode.WRONG_SHARD,
+                f"op {op!r} needs the shard's writer, but this is a "
+                "read-only replica",
+                details,
+            )
+
+    def _identity(self) -> dict[str, Any]:
+        """Shard-identity fields stamped onto replies inside a cluster."""
+        if self.config.shard_id is None:
+            return {}
+        return {"shard": self.config.shard_id, "role": self.config.role}
+
+    # -- ops ---------------------------------------------------------------
+
     def dispatch(
         self, message: dict[str, Any], session: ReaderSession
     ) -> dict[str, Any]:
         """Serve one validated request; returns the success reply."""
         op = message["op"]
         request_id = message.get("id")
+        self._check_shard(message)
+        if op in ("update", "define", "materialize"):
+            self._check_writable(op)
         if op == "ping":
             return ok_reply(
                 request_id,
                 pong=True,
                 protocol=PROTOCOL_VERSION,
                 version=self.pool.version(),
+                **self._identity(),
             )
         if op == "query":
             return self._dispatch_query(message, session)
@@ -284,6 +372,7 @@ class DkbServer:
             use_views=message.get("use_views", True),
             use_cache=message.get("use_cache", True),
             timeout=self.config.request_timeout,
+            min_version=message.get("min_version"),
         )
         return ok_reply(
             message.get("id"),
@@ -293,18 +382,42 @@ class DkbServer:
             cached=result.cached,
             answered_from_view=result.answered_from_view,
             seconds=result.seconds,
+            **self._identity(),
         )
 
     def _dispatch_update(self, message: dict[str, Any]) -> dict[str, Any]:
         predicate = message["predicate"]
         rows = [tuple(row) for row in message["rows"]]
+        self._check_row_ownership(predicate, rows)
         if message["action"] == "insert":
-            count = self.pool.load_facts(predicate, rows)
+            types = message.get("types")
+            count = self.pool.load_facts(predicate, rows, types=types)
         else:
             count = self.pool.delete_facts(predicate, rows)
         return ok_reply(
-            message.get("id"), count=count, version=self.pool.version()
+            message.get("id"),
+            count=count,
+            version=self.pool.version(),
+            **self._identity(),
         )
+
+    def _check_row_ownership(
+        self, predicate: str, rows: list[tuple]
+    ) -> None:
+        """Hash-check update rows against this shard's partition."""
+        spec = self.config.partition
+        shard = self.config.shard_id
+        if spec is None or shard is None or not spec.is_partitioned(predicate):
+            return
+        for row in rows:
+            owner = spec.shard_of_row(predicate, row)
+            if owner != shard:
+                raise ProtocolError(
+                    ErrorCode.WRONG_SHARD,
+                    f"row {list(row)!r} of {predicate!r} hashes to shard "
+                    f"{owner}, not this shard ({shard})",
+                    {"shard": shard, "owner": owner},
+                )
 
     # -- introspection -----------------------------------------------------
 
@@ -315,4 +428,5 @@ class DkbServer:
             "uptime_seconds": time.time() - self.started_at,
             "pool": self.pool.snapshot(),
             "metrics": self.metrics.snapshot(),
+            **self._identity(),
         }

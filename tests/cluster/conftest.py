@@ -1,0 +1,58 @@
+"""Shared fixtures for the cluster suite: specs and in-process clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    LocalCluster,
+    PartitionSpec,
+    ReadPolicy,
+    TablePartition,
+)
+
+#: A replication poll long enough that background pulls never fire during a
+#: test — staleness is advanced only by explicit ``sync_replicas()`` calls,
+#: which is what makes the replica tests deterministic.
+MANUAL_SYNC = 3600.0
+
+
+@pytest.fixture
+def spec() -> PartitionSpec:
+    """Two shards; ``parent`` partitioned, ``ancestor`` routed, one broadcast."""
+    return PartitionSpec(
+        shards=2,
+        tables={"parent": TablePartition(0)},
+        broadcast=frozenset({"label"}),
+        routes={"ancestor": 0},
+        key_delimiter="_",
+    )
+
+
+@pytest.fixture
+def make_cluster(tmp_path, spec):
+    """Factory for in-process clusters; every cluster is closed on teardown."""
+    clusters: list[LocalCluster] = []
+
+    def factory(
+        replicas: int = 0,
+        read_policy: ReadPolicy | None = None,
+        partition: PartitionSpec | None = None,
+        **overrides,
+    ) -> LocalCluster:
+        config = ClusterConfig(
+            spec=partition or spec,
+            data_dir=str(tmp_path / f"cluster{len(clusters)}"),
+            replicas=replicas,
+            read_policy=read_policy or ReadPolicy(),
+            replication_poll=MANUAL_SYNC,
+            **overrides,
+        )
+        cluster = LocalCluster(config)
+        clusters.append(cluster)
+        return cluster
+
+    yield factory
+    for cluster in clusters:
+        cluster.close()

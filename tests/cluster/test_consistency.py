@@ -1,0 +1,210 @@
+"""Every routed read equals the model closure at its reported version.
+
+The cluster analogue of the PR-5 snapshot-consistency stress test, made
+deterministic: a single-threaded model tracks each shard's edge set and
+the exact ``ancestor`` closure at every version that shard ever commits.
+A scripted schedule of router writes, manual replica syncs, and routed
+reads then checks every reply — pinned, fanned-out, primary or replica —
+against the model at the *reply's own* ``version``(s), plus the policy
+bounds: read-my-writes floors on the writing connection and ``max_lag``
+on a floor-free reader connection.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ReadPolicy
+from repro.workloads.queries import ANCESTOR_RULES
+
+GROUPS = [f"g{index}" for index in range(6)]
+MAX_LAG = 1
+
+
+def transitive_closure(edges: set[tuple[str, str]]) -> set[tuple[str, str]]:
+    """Single-threaded model of the ancestor closure."""
+    children: dict[str, set[str]] = {}
+    for parent, child in edges:
+        children.setdefault(parent, set()).add(child)
+    pairs: set[tuple[str, str]] = set()
+    for root in children:
+        stack = list(children[root])
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            pairs.add((root, node))
+            stack.extend(children.get(node, ()))
+    return pairs
+
+
+def build_schedule() -> list[tuple[str, list[tuple[str, str]]]]:
+    """A deterministic insert/delete schedule over growing group chains."""
+    schedule: list[tuple[str, list[tuple[str, str]]]] = []
+    for step in range(1, 4):
+        schedule.append(
+            (
+                "insert",
+                [
+                    (f"{group}_{step}", f"{group}_{step + 1}")
+                    for group in GROUPS
+                ],
+            )
+        )
+        schedule.append(
+            ("insert", [(f"{group}_{step}", f"{group}_side{step}")
+                        for group in GROUPS[:3]])
+        )
+    schedule.append(
+        ("delete", [(f"{group}_1", f"{group}_side1") for group in GROUPS[:3]])
+    )
+    return schedule
+
+
+class Model:
+    """Expected per-shard state: edges now, closure at every version."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.edges: dict[int, set[tuple[str, str]]] = {
+            shard: set() for shard in range(spec.shards)
+        }
+        self.closures: dict[int, dict[int, frozenset]] = {
+            shard: {} for shard in range(spec.shards)
+        }
+        self.write_floors: dict[int, int] = {}
+
+    def record(self, versions: dict[str, int]) -> None:
+        """Snapshot the closure of every shard a reply says just committed."""
+        for shard_name, version in versions.items():
+            shard = int(shard_name)
+            self.closures[shard][version] = frozenset(
+                transitive_closure(self.edges[shard])
+            )
+            self.write_floors[shard] = max(
+                self.write_floors.get(shard, 0), version
+            )
+
+    def apply(self, action: str, rows, versions: dict[str, int]) -> None:
+        for row in rows:
+            shard = self.spec.shard_of_row("parent", tuple(row))
+            if action == "insert":
+                self.edges[shard].add(tuple(row))
+            else:
+                self.edges[shard].discard(tuple(row))
+        self.record(versions)
+
+    def check_pinned(self, group: str, reply: dict) -> None:
+        shard = self.spec.shard_of_key(group)
+        assert reply["shards"] == [shard], reply
+        version = reply["version"]
+        want = self.closures[shard].get(version)
+        assert want is not None, (
+            f"read of {group} reported unknown version {version} "
+            f"for shard {shard} (known: {sorted(self.closures[shard])})"
+        )
+        got = {tuple(row) for row in reply["rows"]}
+        # The query binds the root, so rows carry only the Y column.
+        expected = {
+            (descendant,)
+            for root, descendant in want
+            if root == f"{group}_1"
+        }
+        assert got == expected, (
+            f"group {group} at shard {shard} version {version}: "
+            f"got {sorted(got)}, want {sorted(expected)}"
+        )
+
+    def check_fanout(self, reply: dict) -> None:
+        got = {tuple(row) for row in reply["rows"]}
+        expected: set[tuple[str, str]] = set()
+        for shard_name, version in reply["versions"].items():
+            shard = int(shard_name)
+            want = self.closures[shard].get(version)
+            assert want is not None, (shard, version)
+            expected |= want
+        assert got == expected
+
+
+def test_routed_reads_match_the_per_version_closure_model(make_cluster, spec):
+    cluster = make_cluster(
+        replicas=1,
+        read_policy=ReadPolicy(prefer_replica=True, max_lag=MAX_LAG),
+    )
+    model = Model(spec)
+    with cluster.client() as writer, cluster.client() as reader:
+        defined = writer.define(ANCESTOR_RULES)
+        model.record(defined["versions"])
+
+        for step, (action, rows) in enumerate(build_schedule()):
+            payload = [list(row) for row in rows]
+            if action == "insert":
+                reply = writer.insert("parent", payload)
+            else:
+                reply = writer.delete("parent", payload)
+            model.apply(action, rows, reply["versions"])
+
+            # Read-my-writes on the writing connection: every pinned read
+            # must be served at or above the shard's last written version.
+            for group in GROUPS:
+                read = writer.query(f"?- ancestor('{group}_1', Y).")
+                model.check_pinned(group, read)
+                shard = spec.shard_of_key(group)
+                assert read["version"] >= model.write_floors[shard]
+
+            # Replication advances only here — deterministically.
+            if step % 2 == 1:
+                cluster.sync_replicas()
+
+            # The floor-free reader is bounded by max_lag: never more than
+            # MAX_LAG versions behind the newest version the router has
+            # witnessed for that shard (the ping refreshes the witnesses).
+            witnessed = {
+                int(name): version
+                for name, version in reader.ping()["versions"].items()
+            }
+            for group in GROUPS:
+                read = reader.query(f"?- ancestor('{group}_1', Y).")
+                model.check_pinned(group, read)
+                shard = spec.shard_of_key(group)
+                assert read["version"] >= witnessed[shard] - MAX_LAG
+
+            model.check_fanout(reader.query("?- ancestor(X, Y)."))
+
+        # The schedule's reads actually exercised the replicas, not just
+        # primary fallbacks (LocalCluster exposes the backend servers).
+        replica_reads = sum(
+            replica.metrics.counter("server.requests").value
+            for runtime in cluster.shards
+            for replica in runtime.replicas
+        )
+        assert replica_reads > 0
+
+        # Final cross-check: the union of shard closures is the closure of
+        # the union — the partitioning never invented or lost an edge.
+        cluster.sync_replicas()
+        final = reader.query("?- ancestor(X, Y).")
+        all_edges = set().union(*model.edges.values())
+        assert {tuple(row) for row in final["rows"]} == transitive_closure(
+            all_edges
+        )
+
+
+def test_stale_replica_fallbacks_are_counted(make_cluster, spec):
+    """A lagging replica under a floor produces a primary retry, invisibly."""
+    cluster = make_cluster(
+        replicas=1, read_policy=ReadPolicy(prefer_replica=True, max_lag=0)
+    )
+    with cluster.client() as client:
+        client.define(ANCESTOR_RULES)
+        client.insert("parent", [["g0_1", "g0_2"]])
+        cluster.sync_replicas()
+        client.insert("parent", [["g0_2", "g0_3"]])  # replicas now lag
+
+        read = client.query("?- ancestor('g0_1', Y).")
+        assert sorted(read["rows"]) == [["g0_2"], ["g0_3"]]
+        stats = client.stats()["stats"]
+        counters = dict(
+            stats["metrics"].get("counters", stats["metrics"])
+        )
+        assert counters.get("router.stale_fallbacks", 0) >= 1

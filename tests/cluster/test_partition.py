@@ -1,0 +1,149 @@
+"""PartitionSpec placement rules and Partitioner routing decisions."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.cluster import Partitioner, merge_rows
+from repro.km.partition import PartitionSpec, TablePartition
+
+
+class TestPartitionSpec:
+    def test_entity_group_key_is_the_prefix(self, spec):
+        assert spec.partition_key("t3_17") == "t3"
+        assert spec.partition_key("t3") == "t3"
+        assert spec.partition_key(42) == "42"
+
+    def test_no_delimiter_hashes_the_whole_value(self):
+        spec = PartitionSpec(shards=2, key_delimiter=None)
+        assert spec.partition_key("t3_17") == "t3_17"
+
+    def test_shard_of_key_is_crc32_not_salted_hash(self, spec):
+        # Cross-process stability is the point: the placement function must
+        # be reproducible from the spec alone.
+        for value in ("t0_1", "t1_9", "x"):
+            expected = zlib.crc32(
+                spec.partition_key(value).encode()
+            ) % spec.shards
+            assert spec.shard_of_key(value) == expected
+
+    def test_same_group_same_shard(self, spec):
+        group = {spec.shard_of_key(f"t7_{i}") for i in range(1, 50)}
+        assert len(group) == 1
+
+    def test_shard_of_row_uses_the_key_column(self):
+        spec = PartitionSpec(
+            shards=4, tables={"edge": TablePartition(key_column=1)}
+        )
+        row = ("ignored", "g1_5")
+        assert spec.shard_of_row("edge", row) == spec.shard_of_key("g1_5")
+
+    def test_broadcast_rows_have_no_owner(self, spec):
+        assert spec.shard_of_row("label", ("t0_1", "root")) is None
+
+    def test_unknown_predicate_raises(self, spec):
+        with pytest.raises(KeyError):
+            spec.shard_of_row("mystery", ("a",))
+
+    def test_route_key_position(self, spec):
+        assert spec.route_key_position("parent") == 0  # implicit: key column
+        assert spec.route_key_position("ancestor") == 0  # declared route
+        assert spec.route_key_position("label") is None
+        assert spec.route_key_position("mystery") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(shards=0)
+        with pytest.raises(ValueError):
+            PartitionSpec(
+                shards=2,
+                tables={"p": TablePartition()},
+                broadcast=frozenset({"p"}),
+            )
+
+    def test_wire_round_trip(self, spec):
+        clone = PartitionSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+
+class TestSplitUpdate:
+    def test_partitioned_rows_go_to_their_owners(self, spec):
+        partitioner = Partitioner(spec)
+        rows = [(f"t{t}_1", f"t{t}_2") for t in range(8)]
+        slices = partitioner.split_update("parent", rows)
+        assert sum(len(part) for part in slices.values()) == len(rows)
+        for shard, part in slices.items():
+            assert all(spec.shard_of_key(row[0]) == shard for row in part)
+
+    def test_broadcast_fans_the_whole_batch(self, spec):
+        partitioner = Partitioner(spec)
+        rows = [("t0_1", "root"), ("t1_1", "root")]
+        slices = partitioner.split_update("label", rows)
+        assert set(slices) == {0, 1}
+        assert all(part == rows for part in slices.values())
+
+    def test_unknown_predicate_hashes_column_zero(self, spec):
+        partitioner = Partitioner(spec)
+        slices = partitioner.split_update("adhoc", [("g5_1", 7)])
+        assert set(slices) == {spec.shard_of_key("g5_1")}
+
+
+class TestQueryRouting:
+    def test_bound_key_pins_one_shard(self, spec):
+        route = Partitioner(spec).route("?- ancestor('t3_1', Y).")
+        assert route.is_pinned
+        assert route.shard == spec.shard_of_key("t3_1")
+
+    def test_base_relation_pins_via_key_column(self, spec):
+        route = Partitioner(spec).route("?- parent('t2_1', Y).")
+        assert route.is_pinned
+        assert route.shard == spec.shard_of_key("t2_1")
+
+    def test_unbound_key_fans_out(self, spec):
+        assert Partitioner(spec).route("?- ancestor(X, Y).").kind == "fanout"
+
+    def test_bound_non_key_position_fans_out(self, spec):
+        # ancestor's routing key is argument 0; binding only argument 1
+        # says nothing about which shard owns the answers.
+        assert Partitioner(spec).route("?- ancestor(X, 't3_9').").kind == "fanout"
+
+    def test_agreeing_pins_stay_pinned(self, spec):
+        shard = spec.shard_of_key("t4_1")
+        route = Partitioner(spec).route(
+            "?- ancestor('t4_1', Y), parent('t4_2', Y)."
+        )
+        assert route.is_pinned and route.shard == shard
+
+    def test_disagreeing_pins_fan_out(self, spec):
+        # Find two entity groups that hash to different shards.
+        by_shard: dict[int, str] = {}
+        for tree in range(16):
+            by_shard.setdefault(spec.shard_of_key(f"t{tree}_1"), f"t{tree}_1")
+        assert len(by_shard) == 2
+        first, second = by_shard.values()
+        route = Partitioner(spec).route(
+            f"?- ancestor('{first}', Y), ancestor('{second}', Y)."
+        )
+        assert route.kind == "fanout"
+
+    def test_broadcast_only_query_routes_anywhere(self, spec):
+        assert Partitioner(spec).route("?- label(X, Y).").kind == "any"
+
+    def test_broadcast_join_keeps_the_pin(self, spec):
+        route = Partitioner(spec).route(
+            "?- ancestor('t5_1', Y), label(Y, L)."
+        )
+        assert route.is_pinned
+
+
+def test_merge_rows_unions_and_keeps_first_seen_order():
+    merged = merge_rows(
+        [
+            [["a", 1], ["b", 2]],
+            [["b", 2], ["c", 3]],
+            [["a", 1]],
+        ]
+    )
+    assert merged == [["a", 1], ["b", 2], ["c", 3]]

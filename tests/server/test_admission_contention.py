@@ -1,0 +1,112 @@
+"""Admission counters stay consistent under cross-process contention.
+
+Regression for the cluster work: shard servers are now hammered by
+clients forked in *other processes* (the supervisor's loadgen, the
+router's backend pools), so the admission counters must add up against
+what the clients themselves observed — every connection attempt is
+exactly one of admitted / shed-busy / shed-timeout, and the controller
+ends the run drained (no leaked slots, no stuck waiters).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.server import DkbClient, ServerError
+from repro.server.service import DkbServer, ServerConfig
+
+#: One reader slot and one waiter seat: with several competing client
+#: processes every attempt resolves quickly as admitted, shed at the
+#: waiter cap (SERVER_BUSY), or timed out in the queue (TIMEOUT).
+READERS = 1
+MAX_WAITERS = 1
+SESSION_TIMEOUT = 0.04
+HOLD_SECONDS = 0.08
+PROCESSES = 4
+ATTEMPTS = 12
+
+
+def _contend(host: str, port: int, attempts: int, out) -> None:
+    """One client process: connect, hold the session, tally the outcome."""
+    ok = busy = timeout = errors = 0
+    for _ in range(attempts):
+        try:
+            with DkbClient(host, port, timeout=10.0) as client:
+                client.ping()
+                ok += 1
+                # Keep the checked-out session busy so rivals queue/shed.
+                time.sleep(HOLD_SECONDS)
+        except ServerError as error:
+            if error.code == "SERVER_BUSY":
+                busy += 1
+            elif error.code == "TIMEOUT":
+                timeout += 1
+            else:
+                errors += 1
+        except (ConnectionError, OSError):
+            errors += 1
+    out.put({"ok": ok, "busy": busy, "timeout": timeout, "errors": errors})
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method required for cheap client processes",
+)
+def test_counters_match_what_client_processes_observed(tmp_path):
+    config = ServerConfig(
+        path=str(tmp_path / "contended.sqlite"),
+        readers=READERS,
+        max_waiters=MAX_WAITERS,
+        session_timeout=SESSION_TIMEOUT,
+    )
+    with DkbServer(config) as server:
+        host, port = server.address
+        admission = server.pool.admission
+        before = admission.snapshot()
+
+        context = multiprocessing.get_context("fork")
+        out = context.Queue()
+        workers = [
+            context.Process(
+                target=_contend, args=(host, port, ATTEMPTS, out), daemon=True
+            )
+            for _ in range(PROCESSES)
+        ]
+        for worker in workers:
+            worker.start()
+        tallies = [out.get(timeout=60.0) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=10.0)
+
+        after = admission.snapshot()
+
+    totals = {
+        key: sum(tally[key] for tally in tallies)
+        for key in ("ok", "busy", "timeout", "errors")
+    }
+    # Every attempt resolved, and none fell through to a transport error.
+    assert totals["errors"] == 0
+    assert sum(totals.values()) == PROCESSES * ATTEMPTS
+
+    # The controller's ledger must agree exactly with the clients' own
+    # books: one admitted per served connection, one rejected_busy per
+    # waiter-cap shed, one rejected_timeout per queue timeout.
+    assert after["admitted"] - before["admitted"] == totals["ok"]
+    assert after["rejected_busy"] - before["rejected_busy"] == totals["busy"]
+    assert (
+        after["rejected_timeout"] - before["rejected_timeout"]
+        == totals["timeout"]
+    )
+
+    # The contention was real: both shedding modes actually fired.
+    assert totals["ok"] > 0
+    assert totals["busy"] > 0
+    assert totals["timeout"] > 0
+
+    # Drained: no leaked slots or stuck waiters after the burst.
+    assert after["in_use"] == 0
+    assert after["waiting"] == 0
+    assert after["peak_in_use"] <= READERS

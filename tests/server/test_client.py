@@ -7,7 +7,12 @@ import threading
 
 import pytest
 
-from repro.server.client import DkbClient
+from repro.server.client import (
+    DkbClient,
+    ServerError,
+    StaleReplicaError,
+    WrongShardError,
+)
 from repro.server.protocol import ErrorCode, ProtocolError
 
 
@@ -58,3 +63,47 @@ class TestTruncatedReply:
             with pytest.raises(ConnectionError):
                 client.ping()
         thread.join(timeout=5.0)
+
+
+class TestTypedRetryableErrors:
+    """Cluster error codes surface as typed exceptions with parsed hints."""
+
+    def _raise_from(self, body: bytes):
+        host, port, thread = _one_shot_server(body)
+        with DkbClient(host, port, timeout=5.0) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.ping()
+        thread.join(timeout=5.0)
+        return excinfo.value
+
+    def test_wrong_shard_carries_owner_and_leader(self):
+        error = self._raise_from(
+            b'{"ok": false, "id": 1, "error": {"code": "WRONG_SHARD", '
+            b'"message": "row belongs to shard 1", '
+            b'"details": {"owner": 1, "leader": ["10.0.0.2", 7407]}}}\n'
+        )
+        assert isinstance(error, WrongShardError)
+        assert error.details["owner"] == 1
+        assert error.leader == ("10.0.0.2", 7407)
+        assert error.retry_after is None
+
+    def test_stale_replica_carries_retry_after(self):
+        error = self._raise_from(
+            b'{"ok": false, "id": 1, "error": {"code": "STALE_REPLICA", '
+            b'"message": "replica behind floor", '
+            b'"details": {"version": 3, "min_version": 5, '
+            b'"retry_after": 0.25, "leader": ["10.0.0.3", 7408]}}}\n'
+        )
+        assert isinstance(error, StaleReplicaError)
+        assert error.details["min_version"] == 5
+        assert error.retry_after == pytest.approx(0.25)
+        assert error.leader == ("10.0.0.3", 7408)
+
+    def test_untyped_code_still_raises_plain_server_error(self):
+        error = self._raise_from(
+            b'{"ok": false, "id": 1, "error": {"code": "EVALUATION_ERROR", '
+            b'"message": "no such predicate"}}\n'
+        )
+        assert type(error) is ServerError
+        assert error.details == {}
+        assert error.leader is None and error.retry_after is None

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.server.loadgen import percentile
+from repro.server import DkbClient
+from repro.server.loadgen import parse_target, percentile, run_loadgen
+from repro.server.service import DkbServer, ServerConfig
 
 
 class TestPercentileNearestRank:
@@ -64,3 +66,70 @@ class TestPercentileNearestRank:
     def test_p100_is_the_maximum(self, size):
         samples = [float(i) for i in range(size)]
         assert percentile(samples, 1.0) == max(samples)
+
+
+class TestParseTarget:
+    def test_tuple_passes_through_normalized(self):
+        assert parse_target(("localhost", 7407)) == ("localhost", 7407)
+        assert parse_target(("127.0.0.1", "7408")) == ("127.0.0.1", 7408)
+
+    def test_host_port_string(self):
+        assert parse_target("db.internal:7407") == ("db.internal", 7407)
+        # rpartition keeps IPv6-ish colons in the host part.
+        assert parse_target("::1:7407") == ("::1", 7407)
+
+    @pytest.mark.parametrize("bad", ["no-port", ":7407", "host:", "host:abc"])
+    def test_malformed_strings_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_target(bad)
+
+
+class TestRunLoadgenArguments:
+    def test_queries_required(self):
+        with pytest.raises(ValueError):
+            run_loadgen(host="127.0.0.1", port=1, queries=[])
+
+    def test_targets_exclude_host_port(self):
+        with pytest.raises(ValueError):
+            run_loadgen(
+                host="127.0.0.1",
+                port=1,
+                queries=["?- p(X)."],
+                targets=[("127.0.0.1", 2)],
+            )
+
+    def test_host_and_port_required_without_targets(self):
+        with pytest.raises(ValueError):
+            run_loadgen(queries=["?- p(X)."])
+
+
+def test_multi_target_round_robin_spreads_clients(tmp_path):
+    """Client ``i`` drives ``targets[i % n]``; ``by_target`` shows the split."""
+    servers = []
+    try:
+        for index in range(2):
+            config = ServerConfig(
+                path=str(tmp_path / f"lg{index}.sqlite"), readers=2
+            )
+            servers.append(DkbServer(config).start())
+        for server in servers:
+            host, port = server.address
+            with DkbClient(host, port) as client:
+                client.define("p(1).")
+        report = run_loadgen(
+            queries=["?- p(X)."],
+            clients=4,
+            duration=0.4,
+            think_time=0.0,
+            use_processes=False,
+            targets=[server.address for server in servers],
+        )
+    finally:
+        for server in servers:
+            server.close()
+    assert report.errors == 0
+    assert report.requests > 0
+    # Both targets served someone: 4 clients round-robin over 2 addresses.
+    expected = {f"{host}:{port}" for host, port in (s.address for s in servers)}
+    assert set(report.by_target) == expected
+    assert sum(report.by_target.values()) == report.requests

@@ -101,3 +101,83 @@ def test_replies_echo_id_and_carry_structure():
 def test_protocol_error_requires_known_code():
     with pytest.raises(ValueError):
         ProtocolError("NOT_A_CODE", "nope")
+
+
+class TestClusterExtensions:
+    """The routing/replication fields and retryable codes added for PR 7."""
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"op": "query", "q": "?- p(X).", "min_version": 3, "shard": 0},
+            {
+                "op": "update",
+                "predicate": "p",
+                "action": "insert",
+                "rows": [[1]],
+                "shard": 1,
+                "types": ["INTEGER"],
+            },
+            # Empty typed insert: how the router materializes a relation's
+            # schema on shards that own none of its rows.
+            {
+                "op": "update",
+                "predicate": "p",
+                "action": "insert",
+                "rows": [],
+                "types": ["TEXT", "TEXT"],
+            },
+            {"op": "define", "program": "p(1).", "shard": 0},
+            {"op": "materialize", "predicate": "anc", "shard": 1},
+        ],
+    )
+    def test_validate_accepts_cluster_fields(self, message):
+        assert validate_request(message) is message
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"op": "query", "q": "?- p(X).", "min_version": -1},
+            {"op": "query", "q": "?- p(X).", "min_version": True},
+            {"op": "query", "q": "?- p(X).", "shard": "0"},
+            {
+                "op": "update",
+                "predicate": "p",
+                "action": "insert",
+                "rows": [],
+                "types": "INTEGER",  # must be a list
+            },
+            {
+                "op": "update",
+                "predicate": "p",
+                "action": "insert",
+                "rows": [],
+                "types": [1],  # names, not codes
+            },
+        ],
+    )
+    def test_validate_rejects_malformed_cluster_fields(self, message):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request(message)
+        assert excinfo.value.code == ErrorCode.BAD_REQUEST
+
+    def test_routing_codes_are_retryable(self):
+        assert ErrorCode.WRONG_SHARD in ErrorCode.RETRYABLE
+        assert ErrorCode.STALE_REPLICA in ErrorCode.RETRYABLE
+        assert ErrorCode.SERVER_BUSY in ErrorCode.RETRYABLE
+        assert ErrorCode.EVALUATION_ERROR not in ErrorCode.RETRYABLE
+
+    def test_error_reply_carries_details(self):
+        hints = {"retry_after": 0.25, "leader": ["127.0.0.1", 7407]}
+        reply = error_reply(9, ErrorCode.STALE_REPLICA, "behind", hints)
+        assert reply["error"]["details"] == hints
+        json.loads(encode_message(reply))
+        # No details -> no key: older clients see the PR-5 shape unchanged.
+        bare = error_reply(9, ErrorCode.SERVER_BUSY, "full")
+        assert "details" not in bare["error"]
+
+    def test_protocol_error_copies_details(self):
+        hints = {"owner": 1}
+        error = ProtocolError(ErrorCode.WRONG_SHARD, "not mine", hints)
+        hints["owner"] = 2
+        assert error.details == {"owner": 1}

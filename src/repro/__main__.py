@@ -4,6 +4,8 @@ Subcommands:
 
 * ``python -m repro lint ...`` — the rule-base static analyzer
   (:mod:`repro.analysis.cli`);
+* ``python -m repro lint-concurrency ...`` — the lock-discipline checker
+  for threaded code (:mod:`repro.analysis.concurrency.cli`);
 * ``python -m repro trace ...`` — trace one query and export a Chrome
   trace (:mod:`repro.obs.cli`);
 * ``python -m repro serve ...`` — the concurrent query server
@@ -24,6 +26,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "lint-concurrency":
+        from .analysis.concurrency.cli import main as lint_concurrency_main
+
+        return lint_concurrency_main(arguments[1:])
     if arguments and arguments[0] == "trace":
         from .obs.cli import main as trace_main
 

@@ -17,6 +17,7 @@ command expose the full collect-all behaviour.
 from .codes import CATALOG
 from .diagnostics import Diagnostic, DiagnosticReport, Severity
 from .engine import (
+    PARTITION_PASSES,
     SEMANTIC_PASSES,
     AnalysisConfig,
     AnalysisContext,
@@ -27,6 +28,7 @@ from .engine import (
 
 __all__ = [
     "CATALOG",
+    "PARTITION_PASSES",
     "SEMANTIC_PASSES",
     "AnalysisConfig",
     "AnalysisContext",

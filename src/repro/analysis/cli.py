@@ -16,6 +16,7 @@ nowhere surface as ``DK004`` errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import IO, Mapping, Sequence
 
@@ -49,10 +50,20 @@ def _lint_one(
     base_types: Mapping[str, Sequence[str]],
     min_severity: Severity,
     output: IO[str],
+    json_format: bool = False,
 ) -> DiagnosticReport:
     report = analyze(program, query, base_types=base_types)
-    print(f"== {label} ==", file=output)
-    print(report.render(min_severity), file=output)
+    if json_format:
+        # One diagnostic per line; ``source`` says which input it is from.
+        for diagnostic in report:
+            if diagnostic.severity.rank <= min_severity.rank:
+                print(
+                    json.dumps({"source": label, **diagnostic.to_json()}),
+                    file=output,
+                )
+    else:
+        print(f"== {label} ==", file=output)
+        print(report.render(min_severity), file=output)
     return report
 
 
@@ -90,6 +101,12 @@ def main(argv: list[str] | None = None, output: IO[str] | None = None) -> int:
         metavar="TOTAL,RELEVANT",
         help="also lint a synthetic rulegen rule base with R_s=TOTAL, "
         "R_rs=RELEVANT (base relations typed TEXT,TEXT)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text report (default) or one JSON diagnostic per line",
     )
     parser.add_argument(
         "--werror",
@@ -139,7 +156,13 @@ def main(argv: list[str] | None = None, output: IO[str] | None = None) -> int:
             bad_input = True
             continue
         report = _lint_one(
-            path, program, query, base_types, min_severity, output
+            path,
+            program,
+            query,
+            base_types,
+            min_severity,
+            output,
+            json_format=arguments.format == "json",
         )
         failed |= report.has_errors or (
             arguments.werror and bool(report.warnings)
@@ -165,6 +188,7 @@ def main(argv: list[str] | None = None, output: IO[str] | None = None) -> int:
             generated_types,
             min_severity,
             output,
+            json_format=arguments.format == "json",
         )
         failed |= report.has_errors or (
             arguments.werror and bool(report.warnings)

@@ -38,6 +38,31 @@ CARTESIAN_PRODUCT = "DK009"
 #: participating relations unrestricted.
 CONSTANT_FREE_RECURSION = "DK010"
 
+# -- DK10x: partition-aware lints, computed from a PartitionSpec ------------
+
+#: The query can never be pinned to one shard: no goal binds the routing-key
+#: argument of a routable predicate (or the bound keys disagree), so every
+#: evaluation fans out to all shards.
+NEVER_PINNED = "DK100"
+#: A rule body joins two partitioned base relations on different key terms,
+#: so matching rows can live on different shards — correctness then rests
+#: entirely on entity-group co-location of the data.
+CROSS_GROUP_JOIN = "DK101"
+#: A rule derives a broadcast relation: every evaluation writes a fanned-out
+#: extent, per LFP iteration when the rule is recursive ("hot").
+BROADCAST_RULE_WRITE = "DK102"
+#: A derived predicate has no declared route and is not broadcast — queries
+#: against it always fan out.
+UNROUTED_DERIVED = "DK103"
+#: A negated goal over a non-broadcast predicate is not aligned with the
+#: entity group of the rule's positive goals: a single shard sees only its
+#: fragment of the negated relation, so NOT can succeed spuriously.
+NONLOCAL_NEGATION = "DK104"
+#: A routed derived predicate depends on a broadcast relation: broadcast
+#: writes reach shards (and their replicas) at different versions, so pinned
+#: or replica reads can observe a mixed-version join.
+REPLICA_UNSAFE_ROUTE = "DK105"
+
 #: code -> (default severity, one-line description).
 CATALOG: dict[str, tuple[Severity, str]] = {
     INTERNAL_ERROR: (Severity.ERROR, "an analysis pass failed internally"),
@@ -71,5 +96,29 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     CONSTANT_FREE_RECURSION: (
         Severity.INFO,
         "recursive rule has no constants to restrict iteration",
+    ),
+    NEVER_PINNED: (
+        Severity.WARNING,
+        "query can never be pinned to a single shard",
+    ),
+    CROSS_GROUP_JOIN: (
+        Severity.WARNING,
+        "rule joins partitioned relations across entity groups",
+    ),
+    BROADCAST_RULE_WRITE: (
+        Severity.ERROR,
+        "rule derives a broadcast relation",
+    ),
+    UNROUTED_DERIVED: (
+        Severity.WARNING,
+        "derived predicate has no declared route",
+    ),
+    NONLOCAL_NEGATION: (
+        Severity.ERROR,
+        "negation a single shard can evaluate over a partial relation",
+    ),
+    REPLICA_UNSAFE_ROUTE: (
+        Severity.WARNING,
+        "routed derived predicate depends on a broadcast relation",
     ),
 }

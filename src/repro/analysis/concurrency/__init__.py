@@ -1,0 +1,28 @@
+"""Concurrency static analysis: lock discipline for the server/cluster code.
+
+The testbed's multi-session server (:mod:`repro.server`) and sharded
+cluster (:mod:`repro.cluster`) share :class:`~repro.dbms.engine.Database`
+handles across request threads, replicator poll loops and timer callbacks.
+This package is the checker that keeps that code honest without running
+it: an AST scan (:mod:`~repro.analysis.concurrency.scan`) extracts locks,
+annotated attributes and per-statement held-lock sets, and the checker
+(:mod:`~repro.analysis.concurrency.checker`) verifies guarded-by
+discipline, infers unprotected shared attributes, builds the global
+lock-acquisition graph (cycles = deadlock) and flags blocking calls made
+while holding a guard lock.  Findings are ordinary
+:class:`~repro.analysis.diagnostics.Diagnostic` values under ``CC`` codes;
+``python -m repro lint-concurrency`` is the command-line front end.
+"""
+
+from .checker import check_files, check_modules, check_sources
+from .codes import CC_CATALOG
+from .scan import ModuleInfo, scan_module
+
+__all__ = [
+    "CC_CATALOG",
+    "ModuleInfo",
+    "check_files",
+    "check_modules",
+    "check_sources",
+    "scan_module",
+]

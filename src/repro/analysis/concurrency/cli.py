@@ -1,0 +1,120 @@
+"""``python -m repro lint-concurrency`` — the lock-discipline checker CLI.
+
+Scans Python files (or directories, recursively) and reports ``CC``-coded
+findings; the exit-code contract matches ``python -m repro lint``::
+
+    python -m repro lint-concurrency src/repro/server src/repro/cluster
+    python -m repro lint-concurrency --format json src/repro/dbms
+
+Exit 0 when clean (no error-level findings; with ``--werror`` no warnings
+either), 1 when findings fail the run, 2 on unreadable or unparsable
+input.  ``--format json`` writes one JSON object per diagnostic per line
+(the :meth:`~repro.analysis.diagnostics.Diagnostic.to_json` schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import IO
+
+from ..diagnostics import Severity
+from .checker import check_files
+
+
+def discover(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises:
+        OSError: when a path does not exist.
+    """
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in files:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        elif os.path.exists(path):
+            out.add(path)
+        else:
+            raise OSError(f"no such file or directory: {path!r}")
+    return sorted(out)
+
+
+def main(argv: list[str] | None = None, output: IO[str] | None = None) -> int:
+    """Entry point; returns the process exit code (0 clean / 1 fail / 2 usage)."""
+    output = output if output is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint-concurrency",
+        description="Check lock discipline of threaded Python code.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="Python files or directories (searched recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text report (default) or one JSON diagnostic per line",
+    )
+    parser.add_argument(
+        "--werror",
+        action="store_true",
+        help="treat warnings as failures too",
+    )
+    parser.add_argument(
+        "--severity",
+        choices=[s.value for s in Severity],
+        default=Severity.INFO.value,
+        help="minimum severity to display (default: info)",
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        files = discover(arguments.paths)
+    except OSError as error:
+        print(
+            f"python -m repro lint-concurrency: error: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    if not files:
+        print(
+            "python -m repro lint-concurrency: error: no Python files found",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = check_files(files)
+    except OSError as error:
+        print(
+            f"python -m repro lint-concurrency: error: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    except SyntaxError as error:
+        print(
+            f"python -m repro lint-concurrency: error: "
+            f"{error.filename}:{error.lineno}: {error.msg}",
+            file=sys.stderr,
+        )
+        return 2
+    min_severity = Severity(arguments.severity)
+    if arguments.format == "json":
+        for diagnostic in report:
+            if diagnostic.severity.rank <= min_severity.rank:
+                print(json.dumps(diagnostic.to_json()), file=output)
+    else:
+        print(report.render(min_severity), file=output)
+    failed = report.has_errors or (
+        arguments.werror and bool(report.warnings)
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Stable ``CC``-prefixed codes for the concurrency checker.
+
+The rule-base analyzer owns the ``DK`` codes
+(:mod:`repro.analysis.codes`); the source-level lock-discipline checker
+(:mod:`repro.analysis.concurrency`) reports under its own ``CC`` band so a
+mixed JSON stream stays unambiguous.  Same contract as the DK catalog:
+codes are append-only and never renumbered.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import Severity
+
+#: A checker pass crashed; the finding wraps the underlying error.
+INTERNAL_ERROR = "CC000"
+#: An access to a ``# guarded-by:`` attribute without holding its lock.
+UNGUARDED_ACCESS = "CC001"
+#: An inferred shared mutable attribute with no lock discipline at all.
+UNPROTECTED_SHARED = "CC002"
+#: A cycle in the global lock-acquisition graph (deadlock), or a
+#: non-reentrant lock re-acquired while already held (self-deadlock).
+LOCK_CYCLE = "CC003"
+#: A blocking call (socket, SQL execute, sleep, ...) made while holding a
+#: lock not annotated ``# serializes:``.
+BLOCKING_UNDER_LOCK = "CC004"
+#: A ``# guarded-by:`` annotation naming a lock the class does not declare.
+UNKNOWN_LOCK = "CC005"
+#: An attribute consistently guarded by one lock but not annotated.
+UNANNOTATED_GUARD = "CC006"
+
+#: Every concurrency code with its default severity and one-line meaning.
+CC_CATALOG: dict[str, tuple[Severity, str]] = {
+    INTERNAL_ERROR: (
+        Severity.ERROR,
+        "a concurrency-checker pass failed internally",
+    ),
+    UNGUARDED_ACCESS: (
+        Severity.ERROR,
+        "guarded attribute accessed without holding its designated lock",
+    ),
+    UNPROTECTED_SHARED: (
+        Severity.ERROR,
+        "shared mutable attribute written with no lock discipline",
+    ),
+    LOCK_CYCLE: (
+        Severity.ERROR,
+        "lock-acquisition cycle (potential deadlock)",
+    ),
+    BLOCKING_UNDER_LOCK: (
+        Severity.ERROR,
+        "blocking call made while holding a guard lock",
+    ),
+    UNKNOWN_LOCK: (
+        Severity.ERROR,
+        "guarded-by annotation names a lock the class does not declare",
+    ),
+    UNANNOTATED_GUARD: (
+        Severity.INFO,
+        "attribute consistently guarded but missing a guarded-by annotation",
+    ),
+}

@@ -6,16 +6,18 @@ emits :class:`Diagnostic` values and the driver folds them into one
 :class:`DiagnosticReport`, so a rule base with three independent problems
 needs one run, not three compile attempts, to see them all.
 
-A diagnostic carries a stable ``DK``-prefixed code (:mod:`repro.analysis.codes`),
-a severity, an optional locus (predicate, clause, and the clause's index in
-the analyzed program), and an optional fix hint.
+A diagnostic carries a stable prefixed code (``DK`` for rule-base findings,
+:mod:`repro.analysis.codes`; ``CC`` for the concurrency checker,
+:mod:`repro.analysis.concurrency.codes`), a severity, an optional locus
+(predicate, clause index, and/or source ``path:line``), and an optional fix
+hint.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..datalog.clauses import Clause
 
@@ -50,8 +52,10 @@ class Diagnostic:
 
     ``clause_index`` is the clause's position in the analyzed program (entry
     order, 0-based) — together with ``predicate`` it forms the locus a user
-    needs to find the offending rule.  ``hint`` suggests a fix when the pass
-    knows one.
+    needs to find the offending rule.  Source-level analyses (the concurrency
+    checker) locate findings with ``path``/``line`` instead, reusing
+    ``predicate`` for the symbol (``Class.attribute``).  ``hint`` suggests a
+    fix when the pass knows one.
     """
 
     code: str
@@ -61,16 +65,47 @@ class Diagnostic:
     clause: Clause | None = None
     clause_index: int | None = None
     hint: str | None = None
+    path: str | None = None
+    line: int | None = None
 
     @property
     def locus(self) -> str:
         """Human-readable location, e.g. ``anc, rule #2`` (empty if global)."""
         parts = []
+        if self.path is not None:
+            parts.append(
+                self.path if self.line is None else f"{self.path}:{self.line}"
+            )
         if self.predicate is not None:
             parts.append(self.predicate)
         if self.clause_index is not None:
             parts.append(f"rule #{self.clause_index}")
         return ", ".join(parts)
+
+    @property
+    def sort_key(self) -> tuple[str, str, str, str]:
+        """The deterministic report order: (code, locus, message, hint)."""
+        return (self.code, self.locus, self.message, self.hint or "")
+
+    def to_json(self) -> dict[str, Any]:
+        """The machine-readable form emitted by ``--format json``.
+
+        One flat object per diagnostic; ``clause`` is rendered as text and
+        absent fields are ``None``, so the schema is stable across rule-base
+        and concurrency findings.
+        """
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "predicate": self.predicate,
+            "clause": None if self.clause is None else str(self.clause),
+            "clause_index": self.clause_index,
+            "path": self.path,
+            "line": self.line,
+            "locus": self.locus,
+            "hint": self.hint,
+        }
 
     def __str__(self) -> str:
         locus = f" [{self.locus}]" if self.locus else ""
@@ -80,7 +115,13 @@ class Diagnostic:
 
 @dataclass(frozen=True)
 class DiagnosticReport:
-    """Everything the analyzer found, in pass then emission order."""
+    """Everything the analyzer found.
+
+    :func:`repro.analysis.analyze` (and the concurrency checker) deliver the
+    diagnostics sorted by :attr:`Diagnostic.sort_key` — (code, locus,
+    message) — so repeated runs and parallel CI shards produce byte-identical
+    reports.
+    """
 
     diagnostics: tuple[Diagnostic, ...] = ()
     #: Names of the passes that ran, in execution order.

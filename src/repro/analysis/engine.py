@@ -7,10 +7,10 @@ the selected passes in registration order and returns everything they found
 as one :class:`~repro.analysis.diagnostics.DiagnosticReport` — it never
 raises on a bad program, only on a misconfigured analysis.
 
-The registration order of the four error-level passes (definedness, safety,
-stratification, types) mirrors the check order of the paper's Semantic
-Checker, so :mod:`repro.km.semantic` can preserve its fail-fast exception
-precedence by raising from the first error in report order.
+The four error-level passes (definedness, safety, stratification, types)
+mirror the checks of the paper's Semantic Checker; :mod:`repro.km.semantic`
+preserves its fail-fast exception precedence by walking the report in that
+explicit code order (the report itself is sorted for determinism).
 """
 
 from __future__ import annotations
@@ -26,11 +26,22 @@ from .diagnostics import Diagnostic, DiagnosticReport, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dbms.catalog import ExtensionalCatalog
+    from ..km.partition import PartitionSpec
 
 PassFn = Callable[["AnalysisContext"], Iterable[Diagnostic]]
 
 #: The error-level passes backing the Semantic Checker, in check order.
 SEMANTIC_PASSES = ("definedness", "safety", "stratification", "types")
+
+#: The partition-aware passes (DK100–DK105); no-ops without a PartitionSpec.
+PARTITION_PASSES = (
+    "partition-pinnability",
+    "partition-join-locality",
+    "partition-broadcast-write",
+    "partition-route-coverage",
+    "partition-negation-locality",
+    "partition-replica-safety",
+)
 
 _REGISTRY: dict[str, PassFn] = {}
 
@@ -58,9 +69,11 @@ def registered_passes() -> tuple[str, ...]:
 
 
 def _ensure_builtin_passes() -> None:
-    # The built-in passes live in their own module (which imports this one
+    # The built-in passes live in their own modules (which import this one
     # for the decorator); import lazily to avoid the cycle at module load.
+    # Order matters: the semantic passes must keep registry positions 0-3.
     from . import passes as _passes  # noqa: F401
+    from . import partition_passes as _partition_passes  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -110,7 +123,9 @@ class AnalysisContext:
     ``base_types`` are the extensional dictionary's column types;
     ``dictionary_types`` the intensional dictionary's (stored derived
     predicates).  ``query`` is optional — whole-rulebase lints have none,
-    and query-dependent passes skip themselves.
+    and query-dependent passes skip themselves.  ``partition`` is the
+    cluster's :class:`~repro.km.partition.PartitionSpec` when linting for a
+    sharded deployment — the DK10x passes skip themselves without one.
     """
 
     program: Program
@@ -118,6 +133,7 @@ class AnalysisContext:
     base_types: Mapping[str, Sequence[str]]
     dictionary_types: Mapping[str, Sequence[str]]
     config: AnalysisConfig
+    partition: "PartitionSpec | None" = None
     _pcg: PredicateConnectionGraph | None = field(default=None, repr=False)
     _clause_index: dict[Clause, int] | None = field(default=None, repr=False)
 
@@ -156,6 +172,7 @@ def analyze(
     *,
     base_types: Mapping[str, Sequence[str]] | None = None,
     dictionary_types: Mapping[str, Sequence[str]] | None = None,
+    partition: "PartitionSpec | None" = None,
 ) -> DiagnosticReport:
     """Run the selected analysis passes over ``program``; collect everything.
 
@@ -169,11 +186,14 @@ def analyze(
         base_types: explicit base-relation column types (overrides catalog).
         dictionary_types: intensional-dictionary column types for stored
             derived predicates.
+        partition: the cluster partition metadata, enabling the DK10x
+            partition-aware passes (skipped when ``None``).
 
     Returns:
-        A report with every diagnostic of every pass, in pass order.  A pass
-        failing internally contributes one ``DK000`` error instead of
-        aborting the analysis.
+        A report with every diagnostic of every pass, sorted by
+        ``(code, locus, message)`` so repeated runs produce byte-identical
+        output.  A pass failing internally contributes one ``DK000`` error
+        instead of aborting the analysis.
 
     Raises:
         ValueError: when ``config`` names an unknown pass.
@@ -194,6 +214,7 @@ def analyze(
         base_types=base_types,
         dictionary_types=dictionary_types or {},
         config=config,
+        partition=partition,
     )
     names = config.selected()
     diagnostics: list[Diagnostic] = []
@@ -214,4 +235,8 @@ def analyze(
         ):
             diagnostics = diagnostics[: config.max_diagnostics]
             break
+    # Deterministic report order: truncation happens in pass order (it
+    # bounds work), then the surviving findings sort by (code, locus,
+    # message) so repeated runs and parallel CI shards agree byte-for-byte.
+    diagnostics.sort(key=lambda d: d.sort_key)
     return DiagnosticReport(tuple(diagnostics), names)

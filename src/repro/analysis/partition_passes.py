@@ -1,0 +1,256 @@
+"""DK100–DK105: partition-aware rule lints over a :class:`PartitionSpec`.
+
+The cluster (:mod:`repro.cluster`) routes queries and updates with a
+:class:`~repro.km.partition.PartitionSpec`: base relations hash-partitioned
+by entity group, small relations broadcast everywhere, derived predicates
+declared routable when their closure is entity-group-local.  These passes
+check a rule base *against* that spec before any shard evaluates it:
+
+* **DK100** — the query as written can never be pinned: no goal binds the
+  routing-key argument of a routable predicate with a constant, or the
+  bound keys name different entity groups.  Mirrors
+  :meth:`repro.cluster.partition.Partitioner.route` exactly — DK100 fires
+  iff the router would fan the query out (a property test holds the two
+  implementations together).
+* **DK101** — a rule body joins two *partitioned base* relations on
+  different key terms.  Rows of different entity groups provably live on
+  different shards, so a single-shard evaluation of the rule joins partial
+  relations.  Joins between a base relation and a *routed derived*
+  predicate are deliberately not flagged: declaring the route asserts the
+  derived closure is group-local, which is exactly the discipline that
+  makes ``parent(X, Y), ancestor(Y, Z)`` sound.
+* **DK102** — a rule head is a broadcast relation: deriving it writes a
+  fanned-out extent on every shard; an error when the rule is recursive
+  (the write repeats per LFP iteration), a warning otherwise.
+* **DK103** — a derived predicate is neither routed nor broadcast, so
+  every query against it fans out.
+* **DK104** — a negated goal over a non-broadcast predicate whose key term
+  is neither a constant nor shared with a positive routable goal's key:
+  one shard sees only its fragment of the negated relation, so ``NOT``
+  succeeds spuriously for rows held elsewhere.
+* **DK105** — a routed derived predicate transitively depends on a
+  broadcast relation: broadcast writes reach shards and replicas at
+  different versions, so pinned/replica reads can join mixed versions.
+
+Every pass is a no-op when the context carries no ``partition`` — the
+ordinary rule-base lint is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..datalog.terms import Constant
+from .codes import (
+    BROADCAST_RULE_WRITE,
+    CROSS_GROUP_JOIN,
+    NEVER_PINNED,
+    NONLOCAL_NEGATION,
+    REPLICA_UNSAFE_ROUTE,
+    UNROUTED_DERIVED,
+)
+from .diagnostics import Diagnostic, Severity
+from .engine import AnalysisContext, analysis_pass
+
+
+@analysis_pass("partition-pinnability")
+def check_pinnability(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """DK100 — the query fans out to every shard however it is evaluated.
+
+    Replays the router's pinning decision: a query is pinned when at least
+    one goal binds the routing key of a routable predicate and every bound
+    key agrees on the shard; broadcast-only reads are answered by any one
+    shard.  Anything else fans out, and DK100 says why.
+    """
+    spec = ctx.partition
+    if spec is None or ctx.query is None:
+        return
+    pins: set[int] = set()
+    bound = 0
+    routable = 0
+    broadcast_only = True
+    for goal in ctx.query.goals:
+        if not spec.is_broadcast(goal.predicate):
+            broadcast_only = False
+        position = spec.route_key_position(goal.predicate)
+        if position is None or position >= len(goal.terms):
+            continue
+        routable += 1
+        term = goal.terms[position]
+        if isinstance(term, Constant):
+            bound += 1
+            pins.add(spec.shard_of_key(term.value))
+    if broadcast_only or len(pins) == 1:
+        return
+    if not routable:
+        reason = "no goal mentions a routable predicate"
+        hint = (
+            "partition a base relation the query reads, or declare a "
+            "route for a derived predicate whose closure is shard-local"
+        )
+    elif not bound:
+        reason = "no routable goal binds its routing-key argument"
+        hint = "bind the routing-key argument with a constant to pin"
+    else:
+        reason = f"the bound routing keys name {len(pins)} different shards"
+        hint = "query one entity group at a time to pin"
+    yield Diagnostic(
+        NEVER_PINNED,
+        Severity.WARNING,
+        f"query can never be pinned to one shard: {reason}; every "
+        f"evaluation fans out to all {spec.shards} shards",
+        hint=hint,
+    )
+
+
+@analysis_pass("partition-join-locality")
+def check_join_locality(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """DK101 — partitioned base relations joined on different key terms."""
+    spec = ctx.partition
+    if spec is None:
+        return
+    for index, clause in ctx.indexed_rules():
+        keyed: list[tuple[str, object]] = []
+        for atom in clause.body:
+            if atom.negated or not spec.is_partitioned(atom.predicate):
+                continue
+            position = spec.tables[atom.predicate].key_column
+            if position < len(atom.terms):
+                keyed.append((atom.predicate, atom.terms[position]))
+        distinct = {term for _, term in keyed}
+        if len(distinct) <= 1:
+            continue
+        first, second = keyed[0], next(
+            pair for pair in keyed if pair[1] != keyed[0][1]
+        )
+        yield Diagnostic(
+            CROSS_GROUP_JOIN,
+            Severity.WARNING,
+            f"body joins partitioned relations on different key terms "
+            f"({first[0]} on {first[1]}, {second[0]} on {second[1]}): "
+            "matching rows can live on different shards, so the rule is "
+            "only sound if the data never joins across entity groups",
+            predicate=clause.head_predicate,
+            clause=clause,
+            clause_index=index,
+            hint="join through a routed derived predicate, or broadcast "
+            "one of the relations",
+        )
+
+
+@analysis_pass("partition-broadcast-write")
+def check_broadcast_write(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """DK102 — a rule derives a broadcast relation (hot when recursive)."""
+    spec = ctx.partition
+    if spec is None:
+        return
+    for index, clause in ctx.indexed_rules():
+        head = clause.head_predicate
+        if not spec.is_broadcast(head):
+            continue
+        recursive = ctx.pcg().is_recursive(head)
+        yield Diagnostic(
+            BROADCAST_RULE_WRITE,
+            Severity.ERROR if recursive else Severity.WARNING,
+            f"rule derives broadcast relation {head!r}"
+            + (
+                " inside recursion: every LFP iteration would fan the "
+                "delta out to all shards"
+                if recursive
+                else ": each evaluation writes a fanned-out extent"
+            ),
+            predicate=head,
+            clause=clause,
+            clause_index=index,
+            hint="derive into a routed predicate instead; keep broadcast "
+            "for small, write-rarely dictionary relations",
+        )
+
+
+@analysis_pass("partition-route-coverage")
+def check_route_coverage(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """DK103 — derived predicates no pinned query can ever reach."""
+    spec = ctx.partition
+    if spec is None:
+        return
+    for predicate in sorted(ctx.program.derived_predicates):
+        if spec.route_key_position(predicate) is not None:
+            continue
+        if spec.is_broadcast(predicate):
+            continue
+        yield Diagnostic(
+            UNROUTED_DERIVED,
+            Severity.WARNING,
+            f"derived predicate {predicate!r} has no declared route and is "
+            "not broadcast: every query against it fans out to all shards",
+            predicate=predicate,
+            hint=f"declare routes={{{predicate!r}: <key position>}} if its "
+            "closure is entity-group-local",
+        )
+
+
+@analysis_pass("partition-negation-locality")
+def check_negation_locality(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """DK104 — negation a single shard evaluates over a partial relation."""
+    spec = ctx.partition
+    if spec is None:
+        return
+    for index, clause in ctx.indexed_rules():
+        positive_keys = set()
+        for atom in clause.body:
+            if atom.negated:
+                continue
+            position = spec.route_key_position(atom.predicate)
+            if position is not None and position < len(atom.terms):
+                positive_keys.add(atom.terms[position])
+        for atom in clause.body:
+            if not atom.negated or spec.is_broadcast(atom.predicate):
+                continue
+            position = spec.route_key_position(atom.predicate)
+            aligned = False
+            if position is not None and position < len(atom.terms):
+                term = atom.terms[position]
+                aligned = isinstance(term, Constant) or term in positive_keys
+            if aligned:
+                continue
+            yield Diagnostic(
+                NONLOCAL_NEGATION,
+                Severity.ERROR,
+                f"negated goal over {atom.predicate!r} is not aligned with "
+                "the rule's entity group: a shard holds only its fragment "
+                f"of {atom.predicate!r}, so NOT succeeds spuriously for "
+                "rows stored elsewhere",
+                predicate=clause.head_predicate,
+                clause=clause,
+                clause_index=index,
+                hint="broadcast the negated relation, or bind its routing "
+                "key to the same term as a positive routable goal",
+            )
+
+
+@analysis_pass("partition-replica-safety")
+def check_replica_safety(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """DK105 — routed derived predicates mixing partitioned and broadcast."""
+    spec = ctx.partition
+    if spec is None:
+        return
+    derived = ctx.program.derived_predicates
+    pcg = ctx.pcg()
+    for predicate in sorted(spec.routes):
+        if predicate not in derived:
+            continue
+        support = pcg.reachable_from(predicate)
+        mixed = sorted(name for name in support if spec.is_broadcast(name))
+        if not mixed:
+            continue
+        yield Diagnostic(
+            REPLICA_UNSAFE_ROUTE,
+            Severity.WARNING,
+            f"routed predicate {predicate!r} depends on broadcast "
+            f"relation(s) {', '.join(repr(m) for m in mixed)}: a broadcast "
+            "write lands on shards and replicas at different versions, so "
+            "a pinned or replica read can join mixed versions",
+            predicate=predicate,
+            hint="route reads of this predicate to primaries, or update "
+            "the broadcast relation only during quiesce",
+        )

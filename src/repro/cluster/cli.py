@@ -123,7 +123,56 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         help="seed the ancestor rules plus one DEPTH-level binary tree "
         "per shard through the router before serving",
     )
+    parser.add_argument(
+        "--rules",
+        metavar="FILE",
+        default=None,
+        help="Horn clause file to vet against the partition spec "
+        "(default: the ancestor demo rules)",
+    )
+    parser.add_argument(
+        "--lint-partition",
+        action="store_true",
+        help="run only the partition lints (DK10x) over the rules and "
+        "exit: 0 clean, 1 findings, 2 bad input — no shard boots",
+    )
     return parser
+
+
+def _partition_lint_program(arguments: argparse.Namespace) -> "Any":
+    """The program the partition lints vet: ``--rules`` or the demo rules."""
+    from ..datalog.parser import parse_program
+    from ..workloads.queries import ANCESTOR_RULES
+
+    if arguments.rules is not None:
+        with open(arguments.rules) as handle:
+            return parse_program(handle.read())
+    return parse_program(ANCESTOR_RULES)
+
+
+def _vet_partition(arguments: argparse.Namespace, spec: "Any") -> int:
+    """Run the DK10x lints pre-boot; returns the would-be exit code.
+
+    ``--lint-partition`` prints the full report; otherwise only
+    error-severity findings are printed (they abort the boot).
+    """
+    from ..errors import TestbedError
+    from .speclint import lint_partition
+
+    try:
+        program = _partition_lint_program(arguments)
+    except (OSError, TestbedError) as error:
+        print(f"python -m repro cluster: error: {error}")
+        return 2
+    report = lint_partition(program, spec)
+    if arguments.lint_partition:
+        print(report.render())
+        return 1 if report.has_errors else 0
+    if report.has_errors:
+        print("refusing to boot: the rule base fails the partition lints")
+        print(report.render())
+        return 1
+    return 0
 
 
 def cluster_main(argv: "list[str] | None" = None) -> int:
@@ -133,6 +182,13 @@ def cluster_main(argv: "list[str] | None" = None) -> int:
 
     arguments = build_cluster_parser().parse_args(argv)
     spec = _parse_spec_arguments(arguments)
+    # Vet the rule base against the partition spec before any shard
+    # process boots — an unroutable spec is a configuration error, not
+    # something to discover after the cluster is serving.
+    if arguments.lint_partition or arguments.demo_depth or arguments.rules:
+        status = _vet_partition(arguments, spec)
+        if arguments.lint_partition or status:
+            return status
     config = ClusterConfig(
         spec=spec,
         data_dir=arguments.data_dir,

@@ -53,7 +53,7 @@ class QueryRoute:
 class Partitioner:
     """Routing logic over one :class:`PartitionSpec`."""
 
-    def __init__(self, spec: PartitionSpec):
+    def __init__(self, spec: PartitionSpec) -> None:
         self.spec = spec
 
     @property

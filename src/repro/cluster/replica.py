@@ -46,7 +46,7 @@ class Replicator:
         dest_path: str,
         poll_interval: float = 0.25,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         self.source_path = source_path
         self.dest_path = dest_path
         self.poll_interval = poll_interval
@@ -57,11 +57,11 @@ class Replicator:
         self._source = Database(
             source_path, options=ConnectionOptions.reader()
         )
-        self._lock = threading.Lock()
-        self._watermark = -1
+        self._lock = threading.Lock()  # serializes: one snapshot copy at a time is the point
+        self._watermark = -1  # guarded-by: _lock
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self.copies = 0
+        self.copies = 0  # guarded-by: _lock
 
     # -- the replication step ---------------------------------------------
 

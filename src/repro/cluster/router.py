@@ -34,7 +34,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, BinaryIO, Optional
 
-from ..errors import ParseError
+from ..datalog.parser import parse_program
+from ..errors import ParseError, TestbedError
 from ..obs.metrics import MetricsRegistry
 from ..server.client import DkbClient, ServerError, StaleReplicaError
 from ..server.protocol import (
@@ -49,6 +50,7 @@ from ..server.protocol import (
 )
 from .partition import ANY, Partitioner, merge_rows
 from .shard import ShardAddresses
+from .speclint import partition_errors
 
 
 @dataclass(frozen=True)
@@ -110,7 +112,7 @@ class RouterConfig:
 class _BackendPool:
     """One connection per backend address, owned by one handler thread."""
 
-    def __init__(self, timeout: float):
+    def __init__(self, timeout: float) -> None:
         self.timeout = timeout
         self._clients: dict[tuple[str, int], DkbClient] = {}
 
@@ -216,21 +218,21 @@ class _RouterTcpServer(socketserver.ThreadingTCPServer):
 class ClusterRouter:
     """The cluster's front door; use as a context manager or start/close."""
 
-    def __init__(self, config: RouterConfig):
+    def __init__(self, config: RouterConfig) -> None:
         self.config = config
         self.partitioner = config.partitioner
         self.metrics = MetricsRegistry()
         # Highest version witnessed per shard, from any backend reply.
-        self._versions: dict[int, int] = {}
+        self._versions: dict[int, int] = {}  # guarded-by: _versions_lock
         self._versions_lock = threading.Lock()
         # Round-robin cursors: replica choice per shard, any-shard reads.
         self._cursor_lock = threading.Lock()
-        self._replica_cursor: dict[int, int] = {}
-        self._any_cursor = 0
+        self._replica_cursor: dict[int, int] = {}  # guarded-by: _cursor_lock
+        self._any_cursor = 0  # guarded-by: _cursor_lock
         # Partitioned relations whose schema exists on *every* shard: the
         # first insert of each fans an empty typed slice to non-owners so
         # shard-local evaluation sees an empty relation, not a missing one.
-        self._ensured: set[str] = set()
+        self._ensured: set[str] = set()  # guarded-by: _ensured_lock
         self._ensured_lock = threading.Lock()
         self._tcp = _RouterTcpServer((config.host, config.port), _RouterHandler)
         self._tcp.router = self
@@ -335,6 +337,7 @@ class ClusterRouter:
         if op == "update":
             return self._dispatch_update(message, handler)
         if op == "define":
+            self._vet_define(message)
             return self._fanout_write(message, handler, count_key="added")
         if op == "materialize":
             return self._fanout_write(message, handler, count_key="count")
@@ -346,6 +349,27 @@ class ClusterRouter:
         if op == "stats":
             return ok_reply(request_id, stats=self.stats(handler))
         raise ProtocolError(ErrorCode.BAD_REQUEST, f"unknown op {op!r}")
+
+    def _vet_define(self, message: dict[str, Any]) -> None:
+        """Reject rule bases the partition lints (DK10x) prove unroutable.
+
+        Raises:
+            ProtocolError: ``UNROUTABLE_RULES`` when an error-severity
+                DK10x finding means no shard could evaluate the rules
+                soundly under this partition spec.  (Parse errors pass
+                through — the shard-side define reports them with full
+                context.)
+        """
+        try:
+            program = parse_program(message["program"])
+        except TestbedError:
+            return
+        findings = partition_errors(program, self.partitioner.spec)
+        if findings is not None:
+            raise ProtocolError(
+                ErrorCode.UNROUTABLE_RULES,
+                f"rule base fails partition lints: {findings}",
+            )
 
     def _dispatch_ping(
         self, request_id: Any, handler: _RouterHandler

@@ -88,7 +88,7 @@ class ShardAddresses:
 class ShardRuntime:
     """Boots and owns one shard's primary, replicas, and replicators."""
 
-    def __init__(self, config: ShardConfig):
+    def __init__(self, config: ShardConfig) -> None:
         self.config = config
         self.primary = DkbServer(
             ServerConfig(

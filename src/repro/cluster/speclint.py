@@ -1,0 +1,66 @@
+"""Partition-aware rule vetting: the DK10x lints at the cluster boundary.
+
+Two call sites use this module:
+
+* :class:`~repro.cluster.router.ClusterRouter` vets every ``define``
+  before fanning it out — a rule base that fails the partition lints is
+  rejected with ``UNROUTABLE_RULES`` instead of being installed on shards
+  that cannot evaluate it soundly;
+* ``python -m repro cluster`` (:mod:`repro.cluster.cli`) vets the demo (or
+  ``--rules``) program against the configured
+  :class:`~repro.km.partition.PartitionSpec` *before any shard boots*, and
+  ``--lint-partition`` runs just that check and exits.
+
+Only the DK10x passes run here — the full rule-base lint (safety, types,
+...) already runs shard-side on define, so the cluster layer adds exactly
+the checks that need the partition metadata.
+"""
+
+from __future__ import annotations
+
+from ..analysis import (
+    PARTITION_PASSES,
+    AnalysisConfig,
+    DiagnosticReport,
+    analyze,
+)
+from ..datalog.clauses import Program, Query
+from ..km.partition import PartitionSpec
+
+#: Partition lints only; undefined body predicates are fine (a define may
+#: reference relations created by later updates, as the session model
+#: allows) and the semantic passes already ran where the rules live.
+PARTITION_LINT_CONFIG = AnalysisConfig(
+    passes=PARTITION_PASSES, allow_undefined=True
+)
+
+
+def lint_partition(
+    program: Program,
+    spec: PartitionSpec,
+    query: Query | None = None,
+) -> DiagnosticReport:
+    """Run the DK10x passes over ``program`` (and ``query``) for ``spec``."""
+    return analyze(
+        program,
+        query,
+        config=PARTITION_LINT_CONFIG,
+        partition=spec,
+    )
+
+
+def partition_errors(
+    program: Program,
+    spec: PartitionSpec,
+    query: Query | None = None,
+) -> str | None:
+    """One rendered message when the program fails the lints, else ``None``.
+
+    Warnings do not reject a rule base — fanning out is legal, just slow;
+    only error-severity findings (non-local negation, recursive broadcast
+    writes) make shard-local evaluation *wrong*.
+    """
+    report = lint_partition(program, spec, query)
+    if not report.has_errors:
+        return None
+    return "; ".join(str(diagnostic) for diagnostic in report.errors)

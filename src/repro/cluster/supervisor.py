@@ -98,7 +98,7 @@ class ClusterConfig:
 class LocalCluster:
     """Every shard and the router in one process — the test harness shape."""
 
-    def __init__(self, config: ClusterConfig):
+    def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         os.makedirs(config.data_dir, exist_ok=True)
         self.shards: list[ShardRuntime] = []
@@ -181,7 +181,7 @@ class ClusterSupervisor:
             bound addresses before declaring the boot failed.
     """
 
-    def __init__(self, config: ClusterConfig, boot_timeout: float = 60.0):
+    def __init__(self, config: ClusterConfig, boot_timeout: float = 60.0) -> None:
         self.config = config
         os.makedirs(config.data_dir, exist_ok=True)
         context = multiprocessing.get_context(

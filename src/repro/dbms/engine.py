@@ -109,12 +109,12 @@ class StatementCache:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._cursors: OrderedDict[str, Any] = OrderedDict()
+        self._cursors: OrderedDict[str, Any] = OrderedDict()  # guarded-by: _lock
         # Lookup, counter update, and eviction must be one atomic step when
         # several threads share the owning Database handle.
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -123,8 +123,9 @@ class StatementCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def cursor_for(self, connection: Any, sql: str) -> tuple[Any, bool]:
         """The cached cursor for ``sql`` (creating one), plus hit/miss."""
@@ -366,19 +367,21 @@ class Database:
         # One statement at a time per handle: DB-API cursors are not
         # re-entrant, so when a handle is shared across threads
         # (check_same_thread=False) the execute/record step must be atomic.
-        self._execute_lock = threading.RLock()
-        self.statistics = Statistics()
+        self._execute_lock = threading.RLock()  # serializes: one statement at a time is the point
+        # Statistics.record() runs under _execute_lock; the phase stack is
+        # driven by the single controlling thread between statements.
+        self.statistics = Statistics()  # not-shared: record() is under _execute_lock, phases are single-threaded
         self.statement_cache: StatementCache | None = (
             StatementCache(statement_cache_size)
             if statement_cache_size
             and self.backend.capabilities.supports_shared_cursors
             else None
         )
-        self._in_explicit_transaction = False
+        self._in_explicit_transaction = False  # not-shared: only the single writer batches transactions
         # Optional observability sink (see repro.obs).  ``None`` when tracing
         # is disabled — the hot path then pays one attribute test and nothing
         # else, so paper-faithful timings are untouched.
-        self._tracer: Tracer | None = None
+        self._tracer: Tracer | None = None  # not-shared: installed before the handle is shared
 
     @property
     def capabilities(self) -> BackendCapabilities:

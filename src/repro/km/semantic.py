@@ -17,9 +17,11 @@ stratification check for the negation extension.
 Since the analyzer PR, all four checks run through the collect-all
 diagnostics engine (:mod:`repro.analysis`): :func:`check_semantics` asks the
 engine for the error-level passes and, to preserve the paper's fail-fast
-contract, raises the historical exception type of the *first* error in
-report order — pass registration order matches the paper's check order, so
-callers observe exactly the pre-engine behaviour.
+contract, raises the historical exception type for the highest-precedence
+code present — definedness before safety before stratification before
+types, the paper's check order.  (The report itself is sorted by code for
+deterministic output, so precedence is applied here explicitly rather than
+by report position.)
 """
 
 from __future__ import annotations
@@ -47,6 +49,15 @@ EXCEPTION_BY_CODE: dict[str, type[SemanticError]] = {
     diagnostic_codes.TYPE_CONFLICT: TypeInferenceError,
 }
 
+#: The paper's check order: which error the fail-fast checker raises first
+#: when a rule base has several independent problems.
+ERROR_PRECEDENCE = (
+    diagnostic_codes.UNDEFINED_PREDICATE,
+    diagnostic_codes.UNSAFE_RULE,
+    diagnostic_codes.UNSTRATIFIABLE_NEGATION,
+    diagnostic_codes.TYPE_CONFLICT,
+)
+
 #: The engine configuration reproducing the historical fail-fast checks:
 #: only the error-level passes, and intensional-dictionary entries do not
 #: count as definitions (they are cross-checked, not trusted).
@@ -65,11 +76,14 @@ class SemanticReport:
 
 
 def raise_semantic_errors(report: DiagnosticReport) -> None:
-    """Raise the historical exception for the first error of ``report``.
+    """Raise the historical exception for the worst error of ``report``.
 
-    ``DK001`` (unsafe rule) findings are aggregated into one
-    :class:`SafetyError` listing every violation, matching the pre-engine
-    :func:`repro.datalog.safety.check_program` message.
+    Codes are tried in :data:`ERROR_PRECEDENCE` (the paper's check order) —
+    the report's own order is a deterministic sort by code, not check order,
+    so precedence lives here.  ``DK001`` (unsafe rule) findings are
+    aggregated into one :class:`SafetyError` listing every violation,
+    matching the pre-engine :func:`repro.datalog.safety.check_program`
+    message.
 
     Raises:
         UndefinedPredicateError: for a ``DK004`` finding.
@@ -78,18 +92,23 @@ def raise_semantic_errors(report: DiagnosticReport) -> None:
         TypeInferenceError: for a ``DK003`` finding.
         SemanticError: for any other error-severity finding.
     """
-    for diagnostic in report.errors:
-        if diagnostic.code == diagnostic_codes.UNDEFINED_PREDICATE:
-            raise UndefinedPredicateError(diagnostic.predicate or "?")
-        if diagnostic.code == diagnostic_codes.UNSAFE_RULE:
+    errors = report.errors
+    for code in ERROR_PRECEDENCE:
+        match = next((d for d in errors if d.code == code), None)
+        if match is None:
+            continue
+        if code == diagnostic_codes.UNDEFINED_PREDICATE:
+            raise UndefinedPredicateError(match.predicate or "?")
+        if code == diagnostic_codes.UNSAFE_RULE:
             raise SafetyError(
                 "; ".join(
                     d.message
                     for d in report.by_code(diagnostic_codes.UNSAFE_RULE)
                 )
             )
-        exception = EXCEPTION_BY_CODE.get(diagnostic.code, SemanticError)
-        raise exception(diagnostic.message)
+        raise EXCEPTION_BY_CODE[code](match.message)
+    for diagnostic in errors:
+        raise SemanticError(diagnostic.message)
 
 
 def check_semantics(

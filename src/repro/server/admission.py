@@ -49,7 +49,7 @@ class AdmissionController:
         slots: int,
         max_waiters: int = 16,
         default_timeout: float | None = 30.0,
-    ):
+    ) -> None:
         if slots <= 0:
             raise ValueError(f"slots must be positive, got {slots}")
         if max_waiters < 0:
@@ -59,12 +59,12 @@ class AdmissionController:
         self.default_timeout = default_timeout
         self._lock = threading.Lock()
         self._free = threading.Condition(self._lock)
-        self._in_use = 0
-        self._waiting = 0
-        self.admitted = 0
-        self.rejected_busy = 0
-        self.rejected_timeout = 0
-        self.peak_in_use = 0
+        self._in_use = 0  # guarded-by: _lock
+        self._waiting = 0  # guarded-by: _lock
+        self.admitted = 0  # guarded-by: _lock
+        self.rejected_busy = 0  # guarded-by: _lock
+        self.rejected_timeout = 0  # guarded-by: _lock
+        self.peak_in_use = 0  # guarded-by: _lock
 
     @property
     def in_use(self) -> int:
@@ -130,6 +130,17 @@ class AdmissionController:
                 raise RuntimeError("release without a matching acquire")
             self._in_use -= 1
             self._free.notify()
+
+    def record_rejected_timeout(self) -> None:
+        """Count a timeout enforced outside the controller.
+
+        The session pool's write path waits on its own writer lock; when
+        that wait times out the rejection still belongs in these counters,
+        so it lands here rather than poking the guarded attribute from
+        another class.
+        """
+        with self._lock:
+            self.rejected_timeout += 1
 
     @contextmanager
     def admit(self, timeout: float | None = None) -> Iterator[None]:

@@ -80,15 +80,15 @@ class VersionedResultCache:
         self,
         capacity: int = DEFAULT_CACHE_CAPACITY,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple[str, int], CachedResult] = OrderedDict()
+        self._entries: OrderedDict[tuple[str, int], CachedResult] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
         self._metrics = metrics
 
     def __len__(self) -> int:

@@ -28,7 +28,7 @@ class ServerError(Exception):
         code: str,
         message: str,
         details: Optional[dict[str, Any]] = None,
-    ):
+    ) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
@@ -83,7 +83,7 @@ class DkbClient:
     carrying the structured code.  Usable as a context manager.
     """
 
-    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0) -> None:
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._file = self._socket.makefile("rwb")
         self._ids = itertools.count(1)

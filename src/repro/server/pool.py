@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
+from ..analysis import DiagnosticReport
 from ..dbms.engine import ConnectionOptions, Database
 from ..errors import EvaluationError, TestbedError
 from ..km.config import TestbedConfig
@@ -64,7 +65,7 @@ class StaleSnapshot(Exception):
     ``STALE_REPLICA`` reply carrying the leader hint.
     """
 
-    def __init__(self, version: int, min_version: int):
+    def __init__(self, version: int, min_version: int) -> None:
         super().__init__(
             f"snapshot at version {version} is below the requested "
             f"floor {min_version}"
@@ -112,7 +113,7 @@ def read_version(database: Database) -> int:
 class ReaderSession:
     """One pooled read-only session: a Testbed handle plus the read path."""
 
-    def __init__(self, pool: "SessionPool", testbed: Testbed, index: int):
+    def __init__(self, pool: "SessionPool", testbed: Testbed, index: int) -> None:
         self.pool = pool
         self.testbed = testbed
         self.index = index
@@ -214,7 +215,7 @@ class ReaderSession:
             if enforcer is not None:
                 enforcer.join(timeout=1.0)
 
-    def lint(self, query: Optional[str] = None):
+    def lint(self, query: Optional[str] = None) -> DiagnosticReport:
         """Static-analysis report over the stored rule base (collect-all)."""
         return self.testbed.lint(query)
 
@@ -256,7 +257,7 @@ class SessionPool:
         trace: bool = False,
         partition: "PartitionSpec | None" = None,
         shard_index: Optional[int] = None,
-    ):
+    ) -> None:
         if path == ":memory:":
             raise ValueError(
                 "SessionPool needs an on-disk database: WAL-mode snapshots "
@@ -270,8 +271,8 @@ class SessionPool:
         self.admission = AdmissionController(
             readers, max_waiters=max_waiters, default_timeout=session_timeout
         )
-        self._writer_lock = threading.Lock()
-        self._closed = False
+        self._writer_lock = threading.Lock()  # serializes: one writer transaction at a time is the point
+        self._closed = False  # not-shared: close() runs after request traffic stops
         # The writer session initialises every catalog relation (extensional
         # dictionary, stored D/KB, view registry, version counter) before
         # any reader opens, so readers never attempt catalog DDL.
@@ -299,7 +300,7 @@ class SessionPool:
             ReaderSession(self, Testbed(reader_config), index)
             for index in range(readers)
         ]
-        self._idle: list[ReaderSession] = list(self._sessions)
+        self._idle: list[ReaderSession] = list(self._sessions)  # guarded-by: _idle_lock
         self._idle_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -373,7 +374,7 @@ class SessionPool:
             timeout=-1 if timeout is None else timeout
         )
         if not acquired:
-            self.admission.rejected_timeout += 1
+            self.admission.record_rejected_timeout()
             raise RequestTimeout(
                 f"writer lock not acquired within {timeout:.3f}s"
             )

@@ -36,6 +36,9 @@ class ErrorCode:
     # (``retry_after``, ``leader``) tell the caller where/when to retry.
     WRONG_SHARD = "WRONG_SHARD"  # request routed to a non-owning shard
     STALE_REPLICA = "STALE_REPLICA"  # replica behind the caller's version floor
+    # The rule base fails the partition-aware lints (DK10x): accepting the
+    # define would produce rules no shard can evaluate soundly.
+    UNROUTABLE_RULES = "UNROUTABLE_RULES"
 
     ALL = frozenset(
         {
@@ -48,6 +51,7 @@ class ErrorCode:
             INTERNAL,
             WRONG_SHARD,
             STALE_REPLICA,
+            UNROUTABLE_RULES,
         }
     )
 
@@ -70,7 +74,7 @@ class ProtocolError(Exception):
         code: str,
         message: str,
         details: "Mapping[str, Any] | None" = None,
-    ):
+    ) -> None:
         if code not in ErrorCode.ALL:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(message)

@@ -190,7 +190,7 @@ class DkbServer:
     socket.  Use as a context manager, or call :meth:`start` / :meth:`close`.
     """
 
-    def __init__(self, config: ServerConfig):
+    def __init__(self, config: ServerConfig) -> None:
         self.config = config
         self.metrics = MetricsRegistry()
         self.cache: Optional[VersionedResultCache] = (

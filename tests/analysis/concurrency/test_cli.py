@@ -1,0 +1,103 @@
+"""CLI contract for ``python -m repro lint-concurrency`` and the fixture."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.concurrency import check_files
+from repro.analysis.concurrency.cli import discover, main
+from repro.analysis.concurrency.codes import (
+    BLOCKING_UNDER_LOCK,
+    LOCK_CYCLE,
+    UNGUARDED_ACCESS,
+    UNPROTECTED_SHARED,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+CHECKED_TREES = [
+    str(REPO_ROOT / "src" / "repro" / "server"),
+    str(REPO_ROOT / "src" / "repro" / "cluster"),
+    str(REPO_ROOT / "src" / "repro" / "dbms"),
+]
+FIXTURE = str(REPO_ROOT / "examples" / "concurrency_violations.py")
+
+
+class TestOnRealTree:
+    def test_server_cluster_dbms_are_clean(self):
+        # The zero-false-positive gate: the shipped threaded code passes.
+        output = io.StringIO()
+        assert main(CHECKED_TREES, output=output) == 0
+        assert "0 errors" in output.getvalue()
+
+    def test_fixture_reports_every_violation_class(self):
+        report = check_files(discover([FIXTURE]))
+        codes = {d.code for d in report.diagnostics}
+        assert codes >= {
+            UNGUARDED_ACCESS,
+            UNPROTECTED_SHARED,
+            LOCK_CYCLE,
+            BLOCKING_UNDER_LOCK,
+        }
+
+    def test_fixture_fails_the_cli(self):
+        assert main([FIXTURE], output=io.StringIO()) == 1
+
+
+class TestCliContract:
+    def test_missing_path_is_usage_error(self):
+        assert main(["/no/such/tree"], output=io.StringIO()) == 2
+
+    def test_unparsable_file_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)], output=io.StringIO()) == 2
+
+    def test_discover_expands_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "b.txt").write_text("not python\n")
+        (tmp_path / "top.py").write_text("y = 2\n")
+        found = discover([str(tmp_path)])
+        assert [Path(p).name for p in found] == ["a.py", "top.py"]
+
+    def test_json_format_one_object_per_line(self):
+        output = io.StringIO()
+        assert main(["--format", "json", FIXTURE], output=output) == 1
+        lines = [l for l in output.getvalue().splitlines() if l]
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) >= {
+                "code",
+                "severity",
+                "message",
+                "predicate",
+                "path",
+                "line",
+                "locus",
+            }
+            assert record["path"].endswith("concurrency_violations.py")
+
+    def test_severity_filter_hides_infos(self, tmp_path):
+        source = (
+            "import threading\n\n"
+            "class Tally:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.total = 0\n\n"
+            "    def add(self, n):\n"
+            "        with self._lock:\n"
+            "            self.total += n\n"
+        )
+        target = tmp_path / "tally.py"
+        target.write_text(source)
+        loud = io.StringIO()
+        quiet = io.StringIO()
+        # CC006 is info-severity: shown by default, hidden by --severity
+        # error, and never a failure either way.
+        assert main([str(target)], output=loud) == 0
+        assert main(["--severity", "error", str(target)], output=quiet) == 0
+        assert "CC006" in loud.getvalue()
+        assert "CC006" not in quiet.getvalue()

@@ -1,0 +1,200 @@
+"""Scanner facts: locks, annotations, accesses, and held-lock tracking."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.concurrency import scan_module
+
+
+def scan(source: str):
+    return scan_module("mod.py", textwrap.dedent(source))
+
+
+COUNTER = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count
+"""
+
+
+class TestLockAndAttributeFacts:
+    def test_lock_primitive_is_recorded(self):
+        cls = scan(COUNTER).classes["Counter"]
+        assert set(cls.locks) == {"_lock"}
+        assert cls.locks["_lock"].kind == "Lock"
+        assert not cls.locks["_lock"].serializes
+
+    def test_guarded_by_annotation_is_read(self):
+        cls = scan(COUNTER).classes["Counter"]
+        assert cls.attributes["_count"].guarded_by == "_lock"
+
+    def test_serializes_annotation(self):
+        cls = scan(
+            """
+            import threading
+
+            class Batcher:
+                def __init__(self):
+                    self._lock = threading.RLock()  # serializes: one batch
+            """
+        ).classes["Batcher"]
+        assert cls.locks["_lock"].serializes
+        assert cls.locks["_lock"].kind == "RLock"
+
+    def test_not_shared_annotation(self):
+        cls = scan(
+            """
+            class Holder:
+                def __init__(self):
+                    self._tracer = None  # not-shared: installed pre-share
+            """
+        ).classes["Holder"]
+        assert cls.attributes["_tracer"].not_shared
+
+    def test_synchronized_container_is_exempt(self):
+        cls = scan(
+            """
+            import queue
+
+            class Pipe:
+                def __init__(self):
+                    self._inbox = queue.Queue()
+            """
+        ).classes["Pipe"]
+        assert cls.attributes["_inbox"].synchronized
+
+
+class TestHeldTracking:
+    def test_with_block_holds_the_lock(self):
+        cls = scan(COUNTER).classes["Counter"]
+        # Augmented assignment is both a read and a write of the attribute.
+        read, write = [
+            a for a in cls.methods["bump"].accesses if a.attr == "_count"
+        ]
+        assert (read.write, write.write) == (False, True)
+        assert ("self", "_lock") in write.held
+        assert ("self", "_lock") in read.held
+
+    def test_bare_access_holds_nothing(self):
+        cls = scan(COUNTER).classes["Counter"]
+        peek = next(
+            a for a in cls.methods["peek"].accesses if a.attr == "_count"
+        )
+        assert not peek.write
+        assert peek.held == frozenset()
+
+    def test_acquire_release_statements(self):
+        cls = scan(
+            """
+            import threading
+
+            class Manual:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def step(self):
+                    self._lock.acquire()
+                    self._n += 1
+                    self._lock.release()
+                    self._n += 2
+            """
+        ).classes["Manual"]
+        first, second = [
+            a
+            for a in cls.methods["step"].accesses
+            if a.attr == "_n" and a.write
+        ]
+        assert ("self", "_lock") in first.held
+        assert second.held == frozenset()
+
+    def test_condition_aliases_its_lock(self):
+        cls = scan(
+            """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+            """
+        ).classes["Waiter"]
+        assert cls.canonical_lock("_cond") == "_lock"
+        assert cls.canonical_lock("_lock") == "_lock"
+
+    def test_blocking_call_sites_are_recorded(self):
+        cls = scan(
+            """
+            import threading, time
+
+            class Sleeper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def nap(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        ).classes["Sleeper"]
+        (event,) = cls.methods["nap"].blocking
+        assert event.name == "time.sleep"
+        assert ("self", "_lock") in event.held
+
+
+class TestThreadSharing:
+    def test_lock_declaring_class_is_shared(self):
+        assert scan(COUNTER).classes["Counter"].is_thread_shared
+
+    def test_thread_target_marks_class_shared(self):
+        cls = scan(
+            """
+            import threading
+
+            class Pump:
+                def start(self):
+                    self._t = threading.Thread(target=self._run)
+                    self._t.start()
+
+                def _run(self):
+                    pass
+            """
+        ).classes["Pump"]
+        assert "_run" in cls.thread_targets
+        assert cls.is_thread_shared
+
+    def test_plain_class_is_not_shared(self):
+        cls = scan(
+            """
+            class Plain:
+                def __init__(self):
+                    self.x = 0
+            """
+        ).classes["Plain"]
+        assert not cls.is_thread_shared
+
+    def test_module_level_lock_and_function(self):
+        module = scan(
+            """
+            import threading
+
+            _REGISTRY_LOCK = threading.Lock()
+
+            def register(name):
+                with _REGISTRY_LOCK:
+                    pass
+            """
+        )
+        assert "_REGISTRY_LOCK" in module.locks
+        (acq,) = module.functions["register"].acquires
+        assert acq.lock == ("mod", "_REGISTRY_LOCK")

@@ -1,0 +1,194 @@
+"""Directed tests for the partition-aware lints (DK100-DK105)."""
+
+from __future__ import annotations
+
+from repro.analysis import PARTITION_PASSES, AnalysisConfig, analyze
+from repro.analysis import codes
+from repro.datalog.parser import parse_program, parse_query
+from repro.km.partition import PartitionSpec, TablePartition
+
+ANCESTOR = """
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+"""
+
+PARTITION_ONLY = AnalysisConfig(passes=PARTITION_PASSES, allow_undefined=True)
+
+
+def demo_spec(shards: int = 2) -> PartitionSpec:
+    """The PR 7 cluster demo spec: parent partitioned, ancestor routed."""
+    return PartitionSpec(
+        shards=shards,
+        tables={"parent": TablePartition(0)},
+        routes={"ancestor": 0},
+        key_delimiter="_",
+    )
+
+
+def lint(text: str, spec: PartitionSpec | None, query: str | None = None):
+    return analyze(
+        parse_program(text),
+        parse_query(query) if query else None,
+        config=PARTITION_ONLY,
+        partition=spec,
+    )
+
+
+class TestPassWiring:
+    def test_all_passes_registered(self):
+        from repro.analysis import registered_passes
+
+        assert set(PARTITION_PASSES) <= set(registered_passes())
+
+    def test_no_partition_means_no_findings(self):
+        report = lint(ANCESTOR, None, "?- ancestor(X, Y).")
+        assert report.codes() == ()
+
+    def test_demo_spec_is_clean(self):
+        # The shipped cluster demo must pass its own lints.
+        report = lint(ANCESTOR, demo_spec(), "?- ancestor('t0_1', Y).")
+        assert report.codes() == ()
+
+    def test_reports_are_deterministic(self):
+        spec = PartitionSpec(shards=2, broadcast=frozenset({"ancestor"}))
+        first = lint(ANCESTOR, spec, "?- ancestor(X, Y).")
+        second = lint(ANCESTOR, spec, "?- ancestor(X, Y).")
+        assert first == second
+        assert first.render() == second.render()
+
+
+class TestNeverPinned:
+    def test_unbound_query_fans_out(self):
+        report = lint(ANCESTOR, demo_spec(), "?- ancestor(X, Y).")
+        assert report.codes() == (codes.NEVER_PINNED,)
+        assert "no routable goal binds" in report.diagnostics[0].message
+
+    def test_no_routable_predicate(self):
+        spec = PartitionSpec(shards=2, tables={"parent": TablePartition(0)})
+        report = lint(ANCESTOR, spec, "?- ancestor(X, Y).")
+        never_pinned = report.by_code(codes.NEVER_PINNED)
+        assert len(never_pinned) == 1
+        assert "no goal mentions a routable predicate" in never_pinned[0].message
+
+    def test_disagreeing_pins(self):
+        spec = demo_spec(shards=64)
+        report = lint(
+            ANCESTOR, spec, "?- ancestor('a_1', X), ancestor('b_1', X)."
+        )
+        never_pinned = report.by_code(codes.NEVER_PINNED)
+        assert len(never_pinned) == 1
+        assert "different shards" in never_pinned[0].message
+
+    def test_bound_query_is_pinned_and_clean(self):
+        report = lint(ANCESTOR, demo_spec(), "?- ancestor('t0_1', Y).")
+        assert report.by_code(codes.NEVER_PINNED) == ()
+
+    def test_broadcast_only_read_is_clean(self):
+        spec = PartitionSpec(shards=2, broadcast=frozenset({"label"}))
+        report = lint("", spec, "?- label(X, L).")
+        assert report.by_code(codes.NEVER_PINNED) == ()
+
+
+class TestCrossGroupJoin:
+    def test_join_on_different_key_terms(self):
+        spec = PartitionSpec(
+            shards=2,
+            tables={"parent": TablePartition(0), "lives": TablePartition(0)},
+        )
+        report = lint("p(X, Y) :- parent(X, Z), lives(Y, Z).", spec)
+        joins = report.by_code(codes.CROSS_GROUP_JOIN)
+        assert len(joins) == 1
+        assert joins[0].predicate == "p"
+
+    def test_join_on_same_key_term_is_clean(self):
+        spec = PartitionSpec(
+            shards=2,
+            tables={"parent": TablePartition(0), "lives": TablePartition(0)},
+        )
+        report = lint("p(X, Y) :- parent(X, Y), lives(X, Y).", spec)
+        assert report.by_code(codes.CROSS_GROUP_JOIN) == ()
+
+    def test_routed_derived_join_not_flagged(self):
+        # The demo rule: parent(X,Y), ancestor(Y,Z) — the route declares
+        # ancestor group-local, so the join is the sanctioned pattern.
+        report = lint(ANCESTOR, demo_spec())
+        assert report.by_code(codes.CROSS_GROUP_JOIN) == ()
+
+
+class TestBroadcastWrite:
+    def test_recursive_broadcast_head_is_error(self):
+        spec = PartitionSpec(shards=2, broadcast=frozenset({"ancestor"}))
+        report = lint(ANCESTOR, spec)
+        findings = report.by_code(codes.BROADCAST_RULE_WRITE)
+        assert len(findings) == 2
+        assert all(f.severity.value == "error" for f in findings)
+
+    def test_nonrecursive_broadcast_head_is_warning(self):
+        spec = PartitionSpec(shards=2, broadcast=frozenset({"alias"}))
+        report = lint("alias(X, Y) :- parent(X, Y).", spec)
+        findings = report.by_code(codes.BROADCAST_RULE_WRITE)
+        assert len(findings) == 1
+        assert findings[0].severity.value == "warning"
+
+
+class TestRouteCoverage:
+    def test_unrouted_derived_predicate(self):
+        spec = PartitionSpec(shards=2, tables={"parent": TablePartition(0)})
+        report = lint(ANCESTOR, spec)
+        findings = report.by_code(codes.UNROUTED_DERIVED)
+        assert [f.predicate for f in findings] == ["ancestor"]
+
+    def test_routed_and_broadcast_derived_are_covered(self):
+        spec = PartitionSpec(
+            shards=2,
+            tables={"parent": TablePartition(0)},
+            routes={"ancestor": 0},
+        )
+        assert lint(ANCESTOR, spec).by_code(codes.UNROUTED_DERIVED) == ()
+
+
+class TestNonlocalNegation:
+    def test_unaligned_negation_is_error(self):
+        report = lint(
+            "p(X, Y) :- parent(X, Y), not secret(Y).", demo_spec()
+        )
+        findings = report.by_code(codes.NONLOCAL_NEGATION)
+        assert len(findings) == 1
+        assert findings[0].severity.value == "error"
+
+    def test_broadcast_negation_is_clean(self):
+        spec = PartitionSpec(
+            shards=2,
+            tables={"parent": TablePartition(0)},
+            broadcast=frozenset({"secret"}),
+        )
+        report = lint("p(X, Y) :- parent(X, Y), not secret(Y).", spec)
+        assert report.by_code(codes.NONLOCAL_NEGATION) == ()
+
+    def test_key_aligned_negation_is_clean(self):
+        spec = PartitionSpec(
+            shards=2,
+            tables={"parent": TablePartition(0), "secret": TablePartition(0)},
+        )
+        report = lint("p(X, Y) :- parent(X, Y), not secret(X).", spec)
+        assert report.by_code(codes.NONLOCAL_NEGATION) == ()
+
+
+class TestReplicaSafety:
+    def test_routed_predicate_over_broadcast_base(self):
+        spec = PartitionSpec(
+            shards=2,
+            tables={"parent": TablePartition(0)},
+            broadcast=frozenset({"label"}),
+            routes={"titled": 0},
+        )
+        report = lint(
+            "titled(X, L) :- parent(X, Y), label(Y, L).", spec
+        )
+        findings = report.by_code(codes.REPLICA_UNSAFE_ROUTE)
+        assert [f.predicate for f in findings] == ["titled"]
+
+    def test_partitioned_only_closure_is_clean(self):
+        assert lint(ANCESTOR, demo_spec()).by_code(
+            codes.REPLICA_UNSAFE_ROUTE
+        ) == ()

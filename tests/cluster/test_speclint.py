@@ -1,0 +1,57 @@
+"""Partition-spec vetting: DK10x at define time and at the router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.speclint import lint_partition, partition_errors
+from repro.datalog.parser import parse_program
+from repro.server.client import ServerError
+from repro.workloads.queries import ANCESTOR_RULES
+
+NONLOCAL_NEGATION = "p(X, Y) :- parent(X, Y), not secret(Y)."
+
+
+class TestPartitionErrors:
+    def test_demo_rules_pass_the_demo_spec(self, spec):
+        assert partition_errors(parse_program(ANCESTOR_RULES), spec) is None
+
+    def test_error_findings_reject(self, spec):
+        message = partition_errors(parse_program(NONLOCAL_NEGATION), spec)
+        assert message is not None
+        assert "DK104" in message
+
+    def test_warnings_alone_do_not_reject(self, spec):
+        # Unrouted derived predicates only fan out — legal, just slow.
+        program = parse_program("steps(X, Y) :- parent(X, Y).")
+        report = lint_partition(program, spec)
+        assert report.warnings
+        assert not report.has_errors
+        assert partition_errors(program, spec) is None
+
+
+class TestRouterVetsDefines:
+    def test_clean_rules_install(self, make_cluster):
+        cluster = make_cluster()
+        with cluster.client() as client:
+            client.define(ANCESTOR_RULES)
+
+    def test_unroutable_rules_are_rejected(self, make_cluster):
+        cluster = make_cluster()
+        with cluster.client() as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.define(NONLOCAL_NEGATION)
+            assert excinfo.value.code == "UNROUTABLE_RULES"
+            assert "DK104" in str(excinfo.value)
+
+    def test_rejected_define_leaves_no_rules_behind(self, make_cluster):
+        # The vet runs before fanout: no shard ever sees the bad program,
+        # and the session keeps working afterwards.
+        cluster = make_cluster()
+        with cluster.client() as client:
+            with pytest.raises(ServerError):
+                client.define(NONLOCAL_NEGATION)
+            client.define(ANCESTOR_RULES)
+            client.insert("parent", [["t0_1", "t0_2"]])
+            reply = client.query("?- ancestor('t0_1', X).")
+            assert reply["rows"] == [["t0_2"]]

@@ -1,0 +1,119 @@
+"""Property tests: the DK1xx lints agree with the cluster they describe.
+
+Two contracts tie the static partition lints to the running system:
+
+* **DK100 is the router, statically.**  For any partition spec and any
+  query, the lint reports a never-pinned query exactly when
+  :meth:`~repro.cluster.partition.Partitioner.route` would fan it out —
+  the lint must neither cry wolf on pinnable queries nor bless a fanout.
+* **Clean programs shard soundly.**  When the demo-style spec lints clean
+  and the base facts respect entity-group placement, evaluating the
+  closure independently on each shard's slice and unioning the answers
+  equals the global closure — the property the ``routes`` declaration
+  asserts and the DK1xx errors exist to protect.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import codes
+from repro.cluster.partition import FANOUT, Partitioner
+from repro.cluster.speclint import lint_partition, partition_errors
+from repro.datalog.parser import parse_program, parse_query
+from repro.km.partition import PartitionSpec, TablePartition
+from repro.runtime.topdown import evaluate_top_down
+
+ANCESTOR = parse_program(
+    "ancestor(X, Y) :- parent(X, Y)."
+    "ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z)."
+)
+
+GROUPS = ("g0", "g1", "g2", "g3")
+
+
+@st.composite
+def specs(draw) -> PartitionSpec:
+    return PartitionSpec(
+        shards=draw(st.integers(min_value=1, max_value=8)),
+        tables=(
+            {"parent": TablePartition(0)}
+            if draw(st.booleans())
+            else {}
+        ),
+        broadcast=(
+            frozenset({"label"}) if draw(st.booleans()) else frozenset()
+        ),
+        routes={"ancestor": 0} if draw(st.booleans()) else {},
+        key_delimiter="_",
+    )
+
+
+@st.composite
+def queries(draw) -> str:
+    goals = []
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        predicate = draw(
+            st.sampled_from(["parent", "ancestor", "label"])
+        )
+        first = draw(
+            st.one_of(
+                st.sampled_from(["'g0_1'", "'g1_2'", "'g2_3'", "'g3_4'"]),
+                st.just(f"A{i}"),
+            )
+        )
+        goals.append(f"{predicate}({first}, B{i})")
+    return "?- " + ", ".join(goals) + "."
+
+
+class TestNeverPinnedMatchesRouter:
+    @settings(max_examples=120, deadline=None)
+    @given(specs(), queries())
+    def test_dk100_fires_exactly_on_fanout_routes(self, spec, query_text):
+        query = parse_query(query_text)
+        report = lint_partition(ANCESTOR, spec, query)
+        fans_out = Partitioner(spec).route(query).kind == FANOUT
+        assert bool(report.by_code(codes.NEVER_PINNED)) == fans_out
+
+
+def group_local_edges():
+    """Edges that never leave their entity group — legal placement."""
+    edge = st.tuples(
+        st.sampled_from(GROUPS),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ).filter(lambda e: e[1] != e[2])
+    return st.lists(edge, min_size=1, max_size=20, unique=True).map(
+        lambda raw: sorted(
+            {(f"{g}_{u}", f"{g}_{v}") for g, u, v in raw}
+        )
+    )
+
+
+class TestCleanProgramsShardSoundly:
+    @settings(max_examples=60, deadline=None)
+    @given(group_local_edges(), st.integers(min_value=1, max_value=4))
+    def test_per_shard_union_equals_global_closure(self, edges, shards):
+        spec = PartitionSpec(
+            shards=shards,
+            tables={"parent": TablePartition(0)},
+            routes={"ancestor": 0},
+            key_delimiter="_",
+        )
+        # The spec the property relies on must itself lint clean.
+        assert partition_errors(ANCESTOR, spec) is None
+
+        query = parse_query("?- ancestor(X, Y).")
+        whole = evaluate_top_down(ANCESTOR, {"parent": set(edges)}, query)
+        sharded: set[tuple] = set()
+        for shard in range(shards):
+            slice_ = {
+                row
+                for row in edges
+                if spec.shard_of_row("parent", row) == shard
+            }
+            sharded |= evaluate_top_down(
+                ANCESTOR, {"parent": slice_}, query
+            )
+        assert sharded == whole

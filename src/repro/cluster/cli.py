@@ -116,6 +116,15 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         help="replica pull cadence in seconds (default: 0.25)",
     )
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus /metrics on this router side port, with "
+        "per-shard versions and replica lag (0 = ephemeral; omit for no "
+        "exporter)",
+    )
+    parser.add_argument(
         "--demo-depth",
         type=int,
         default=0,
@@ -201,6 +210,7 @@ def cluster_main(argv: "list[str] | None" = None) -> int:
         ),
         readers=arguments.readers,
         replication_poll=arguments.replication_poll,
+        metrics_port=arguments.metrics_port,
     )
     supervisor = ClusterSupervisor(config)
     try:
@@ -221,6 +231,9 @@ def cluster_main(argv: "list[str] | None" = None) -> int:
         print(json.dumps(supervisor.describe(), indent=2))
         host, port = supervisor.address
         print(f"cluster router on {host}:{port}")
+        if supervisor.router is not None and supervisor.router.exporter is not None:
+            mhost, mport = supervisor.router.exporter.address
+            print(f"metrics: http://{mhost}:{mport}/metrics")
         supervisor.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")

@@ -89,6 +89,11 @@ class Replicator:
         """
         with self._lock:
             version = self._source_version()
+            # Lag as observed at this probe, *before* the copy catches up:
+            # how many versions the replica was behind when the pull ran.
+            self.metrics.gauge("replica.lag").set(
+                float(max(0, version - max(0, self._watermark)))
+            )
             if version > self._watermark:
                 self._source.snapshot_to(self.dest_path)
                 self._watermark = version

@@ -37,6 +37,7 @@ from typing import Any, BinaryIO, Optional
 from ..datalog.parser import parse_program
 from ..errors import ParseError, TestbedError
 from ..obs.metrics import MetricsRegistry
+from ..obs.live.exporter import MetricSample, MetricsExporter
 from ..server.client import DkbClient, ServerError, StaleReplicaError
 from ..server.protocol import (
     PROTOCOL_VERSION,
@@ -87,6 +88,11 @@ class RouterConfig:
         host, port: the router's own bind address.
         read_policy: replica usage and staleness bounds.
         connect_timeout: socket timeout towards backends, seconds.
+        metrics_port: serve Prometheus ``/metrics`` on this side port
+            (``0`` = ephemeral; ``None`` = no exporter).  The page carries
+            the router's own counters plus per-shard cluster samples —
+            witnessed versions, replica watermarks, and replica *lag* —
+            gathered by pinging the backends at scrape time.
     """
 
     partitioner: Partitioner
@@ -95,6 +101,7 @@ class RouterConfig:
     port: int = 0
     read_policy: ReadPolicy = field(default_factory=ReadPolicy)
     connect_timeout: float = 30.0
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.shards) != self.partitioner.shards:
@@ -238,6 +245,35 @@ class ClusterRouter:
         self._tcp.router = self
         self._thread: Optional[threading.Thread] = None
         self.started_at = time.time()
+        # The /metrics side port: the exporter's scrape threads share one
+        # backend pool, serialized by a lock (scrapes are rare; one ping
+        # round per scrape is fine).
+        self.exporter: Optional[MetricsExporter] = None
+        self._scrape_lock = threading.Lock()
+        self._scrape_backends = _BackendPool(  # guarded-by: _scrape_lock
+            config.connect_timeout
+        )
+        if config.metrics_port is not None:
+            # Touch the lazily-created counters so every family shows up
+            # on the very first scrape (a dashboard should see a zero
+            # series, not a missing one).
+            for name in (
+                "router.requests",
+                "router.errors",
+                "router.writes",
+                "router.pinned_reads",
+                "router.any_reads",
+                "router.fanout_reads",
+                "router.stale_fallbacks",
+                "router.backend_failures",
+            ):
+                self.metrics.counter(name)
+            self.exporter = (
+                MetricsExporter(config.host, config.metrics_port)
+                .add_source(self.metrics, {"role": "router"})
+                .add_collector(self._cluster_samples)
+                .start()
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -267,6 +303,10 @@ class ClusterRouter:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.exporter is not None:
+            self.exporter.close()
+        with self._scrape_lock:
+            self._scrape_backends.close()
 
     def __enter__(self) -> "ClusterRouter":
         return self.start()
@@ -581,6 +621,78 @@ class ClusterRouter:
             version=min(versions.values()) if versions else 0,
             versions=versions,
         )
+
+    # -- live observability ------------------------------------------------
+
+    def _cluster_samples(self) -> "list[MetricSample]":
+        """Per-shard cluster samples for the /metrics page.
+
+        One ping round per scrape: every shard primary (refreshing the
+        witnessed version) and every replica (its watermark).  Replica
+        **lag** is the distance from the shard's witnessed version to the
+        replica's watermark — the page a dashboard alerts on.  Unreachable
+        backends degrade to an ``up 0`` sample rather than failing the
+        whole scrape.
+        """
+        samples: list[MetricSample] = []
+        with self._scrape_lock:
+            for shard in self.partitioner.all_shards():
+                addresses = self.config.shards[shard]
+                labels = {"shard": str(shard)}
+                try:
+                    reply = self._scrape_backends.client(
+                        addresses.primary
+                    ).ping()
+                    self.witness(shard, reply.get("version"))
+                    samples.append(
+                        MetricSample("cluster.primary.up", 1.0, labels)
+                    )
+                except (ServerError, ConnectionError, OSError):
+                    self._scrape_backends.drop(addresses.primary)
+                    samples.append(
+                        MetricSample("cluster.primary.up", 0.0, labels)
+                    )
+                witnessed = self.witnessed_version(shard)
+                samples.append(
+                    MetricSample(
+                        "cluster.shard.version",
+                        float(witnessed),
+                        labels,
+                        help="highest D/KB version witnessed per shard",
+                    )
+                )
+                for index, address in enumerate(addresses.replicas):
+                    rlabels = dict(labels)
+                    rlabels["replica"] = str(index)
+                    try:
+                        reply = self._scrape_backends.client(address).ping()
+                        watermark = int(reply["version"])
+                    except (ServerError, ConnectionError, OSError):
+                        self._scrape_backends.drop(address)
+                        samples.append(
+                            MetricSample("cluster.replica.up", 0.0, rlabels)
+                        )
+                        continue
+                    samples.append(
+                        MetricSample("cluster.replica.up", 1.0, rlabels)
+                    )
+                    samples.append(
+                        MetricSample(
+                            "cluster.replica.watermark",
+                            float(watermark),
+                            rlabels,
+                        )
+                    )
+                    samples.append(
+                        MetricSample(
+                            "cluster.replica.lag",
+                            float(max(0, witnessed - watermark)),
+                            rlabels,
+                            help="versions behind the shard's witnessed "
+                            "version",
+                        )
+                    )
+        return samples
 
     # -- introspection -----------------------------------------------------
 

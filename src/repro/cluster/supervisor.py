@@ -49,6 +49,8 @@ class ClusterConfig:
         cache_size: result-cache entries per backend server.
         request_timeout: per-query budget in seconds.
         replication_poll: replica pull cadence in seconds.
+        metrics_port: the router's Prometheus ``/metrics`` side port
+            (``0`` = ephemeral; ``None`` = no exporter).
     """
 
     spec: PartitionSpec
@@ -63,6 +65,7 @@ class ClusterConfig:
     request_timeout: "float | None" = 30.0
     replication_poll: float = 0.25
     trace: bool = False
+    metrics_port: Optional[int] = None
 
     def shard_path(self, shard_id: int) -> str:
         return os.path.join(self.data_dir, f"shard{shard_id}.sqlite")
@@ -92,6 +95,7 @@ class ClusterConfig:
             host=self.host,
             port=self.router_port,
             read_policy=self.read_policy,
+            metrics_port=self.metrics_port,
         )
 
 

@@ -22,7 +22,9 @@ more than a fixed fraction of the unoptimized plan's work to decide.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from typing import Any, Optional
 
 from ..datalog.clauses import Program, Query
 from ..datalog.pcg import Clique
@@ -101,6 +103,106 @@ def decide_clique_strategy(
                 "support",
             )
     return LfpStrategyDecision(label, check.eligible, check.reason)
+
+
+#: Sentinel distinguishing "leave this knob alone" from "clear it (None)".
+_UNSET = object()
+
+
+class ServingPolicy:
+    """Live-mutable serving defaults — the knobs the SLO watchdog flips.
+
+    The per-query adaptive machinery above decides *one query at a time*;
+    this class closes the loop at the *serving* level: a mutable, thread-
+    safe set of default overrides the query server consults on every
+    request that did not spell the knob out itself.  An explicit value in
+    the client's request always wins — the overrides only replace the
+    protocol defaults, so flipping a knob never breaks a caller that asked
+    for something specific.
+
+    Three knobs, mirroring the paper's tunables:
+
+    * ``strategy`` — the default LFP evaluation strategy (e.g. switch the
+      whole serving path onto the recursive-CTE fast path, ``"lfp_cte"``);
+    * ``optimize`` — the magic-sets default (magic on/off, or
+      ``"adaptive"`` for the per-query probe policy);
+    * ``use_cache`` — the result-cache default.
+
+    Values are wire-level (strategy names as strings) so a snapshot is
+    JSON-friendly and the watchdog's structured events can carry it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._strategy: Optional[str] = None  # guarded-by: _lock
+        self._optimize: "bool | str | None" = None  # guarded-by: _lock
+        self._use_cache: Optional[bool] = None  # guarded-by: _lock
+
+    # -- reading (the serving hot path) ------------------------------------
+
+    def default_strategy(self, fallback: str) -> str:
+        """The strategy for a request that named none."""
+        with self._lock:
+            return self._strategy if self._strategy is not None else fallback
+
+    def default_optimize(self, fallback: "bool | str" = False) -> "bool | str":
+        """The magic-sets setting for a request that named none."""
+        with self._lock:
+            return self._optimize if self._optimize is not None else fallback
+
+    def default_use_cache(self, fallback: bool = True) -> bool:
+        """The result-cache setting for a request that named none."""
+        with self._lock:
+            return self._use_cache if self._use_cache is not None else fallback
+
+    # -- flipping (the watchdog's action pairs) ----------------------------
+
+    def set_strategy(self, strategy: Any = _UNSET) -> Optional[str]:
+        """Set (or with ``None`` clear) the strategy override.
+
+        Returns the previous override so the caller can restore it — the
+        shape a reversible watchdog action needs.
+        """
+        with self._lock:
+            previous = self._strategy
+            if strategy is not _UNSET:
+                self._strategy = strategy
+            return previous
+
+    def set_optimize(self, optimize: Any = _UNSET) -> "bool | str | None":
+        """Set (or with ``None`` clear) the magic-sets override."""
+        with self._lock:
+            previous = self._optimize
+            if optimize is not _UNSET:
+                self._optimize = optimize
+            return previous
+
+    def set_use_cache(self, use_cache: Any = _UNSET) -> Optional[bool]:
+        """Set (or with ``None`` clear) the result-cache override."""
+        with self._lock:
+            previous = self._use_cache
+            if use_cache is not _UNSET:
+                self._use_cache = use_cache
+            return previous
+
+    def clear(self) -> None:
+        """Drop every override (back to the protocol defaults)."""
+        with self._lock:
+            self._strategy = None
+            self._optimize = None
+            self._use_cache = None
+
+    def overrides(self) -> dict[str, Any]:
+        """JSON-friendly view of the currently active overrides."""
+        with self._lock:
+            active: dict[str, Any] = {}
+            if self._strategy is not None:
+                active["strategy"] = self._strategy
+            if self._optimize is not None:
+                active["optimize"] = self._optimize
+            if self._use_cache is not None:
+                active["use_cache"] = self._use_cache
+            return active
 
 
 class AdaptiveOptimizationPolicy:

@@ -1,0 +1,323 @@
+"""A rolling in-memory time-series store of fixed-width windows.
+
+The offline observability layer (PR 4) answers "what happened during that
+run"; this store answers "what is happening *right now*" — the signal the
+SLO watchdog and the ``/metrics`` exporter read.  The design is the
+classic fixed-width tumbling window:
+
+* every per-request span lands in the currently *open* window (a latency
+  histogram plus request/error/shed/cache counters and the D/KB version
+  range witnessed);
+* when the clock crosses a window boundary the open window is sealed and
+  pushed onto a **bounded ring buffer** (``collections.deque(maxlen=...)``)
+  of closed windows — memory is a hard constant, never proportional to
+  uptime or traffic;
+* quantiles (p50/p95/p99) come from the histogram buckets
+  (:meth:`repro.obs.metrics.Histogram.quantile`), so a window costs a few
+  hundred bytes regardless of how many requests it absorbed.
+
+The clock is injectable (``clock=time.monotonic`` by default) which is
+what makes the watchdog's breach→recover state machine deterministic to
+test: tests hand in a fake clock and advance it window by window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+from ..metrics import Histogram
+
+__all__ = ["WindowAggregate", "TimeSeriesStore", "DEFAULT_LATENCY_BUCKETS"]
+
+# Upper bounds (seconds) sized for served request latencies: 1ms..30s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class WindowAggregate:
+    """Everything one fixed-width window absorbed, with derived statistics.
+
+    The named statistics the watchdog rules reference (``stat()``):
+
+    * ``throughput`` — successful requests per second over the window width;
+    * ``p50_ms`` / ``p95_ms`` / ``p99_ms`` — request latency quantiles in
+      milliseconds, bucket-estimated;
+    * ``mean_ms`` — mean request latency in milliseconds;
+    * ``cache_hit_rate`` — cached fraction of successful requests;
+    * ``error_rate`` — errored fraction of all finished requests;
+    * ``shed_rate`` — shed (SERVER_BUSY / admission timeout) fraction of
+      all arrivals (finished + shed);
+    * ``version_advance`` — how many D/KB versions committed during the
+      window (0 on a read-only window).
+    """
+
+    __slots__ = (
+        "start",
+        "width",
+        "requests",
+        "errors",
+        "shed",
+        "cache_hits",
+        "latency",
+        "first_version",
+        "last_version",
+    )
+
+    def __init__(self, start: float, width: float) -> None:
+        self.start = start
+        self.width = width
+        self.requests = 0
+        self.errors = 0
+        self.shed = 0
+        self.cache_hits = 0
+        self.latency = Histogram("latency_seconds", DEFAULT_LATENCY_BUCKETS)
+        self.first_version: Optional[int] = None
+        self.last_version: Optional[int] = None
+
+    # -- recording (store-internal; callers go through TimeSeriesStore) ----
+
+    def record(
+        self, seconds: float, cached: bool, error: bool, shed: bool
+    ) -> None:
+        if shed:
+            self.shed += 1
+            return
+        self.requests += 1
+        if error:
+            self.errors += 1
+            return
+        self.latency.observe(seconds)
+        if cached:
+            self.cache_hits += 1
+
+    def record_version(self, version: int) -> None:
+        if self.first_version is None:
+            self.first_version = version
+        self.last_version = version
+
+    # -- derived statistics ------------------------------------------------
+
+    @property
+    def ok_requests(self) -> int:
+        """Requests that finished without a protocol-level error."""
+        return self.requests - self.errors
+
+    @property
+    def throughput(self) -> float:
+        return self.ok_requests / self.width if self.width > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.ok_requests if self.ok_requests else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        arrivals = self.requests + self.shed
+        return self.shed / arrivals if arrivals else 0.0
+
+    @property
+    def version_advance(self) -> int:
+        if self.first_version is None or self.last_version is None:
+            return 0
+        return max(0, self.last_version - self.first_version)
+
+    def stat(self, name: str) -> float:
+        """One named statistic, for rule declarations ("p95_ms", ...)."""
+        if name == "throughput":
+            return self.throughput
+        if name == "mean_ms":
+            return self.latency.mean * 1000.0
+        if name == "p50_ms":
+            return self.latency.quantile(0.50) * 1000.0
+        if name == "p95_ms":
+            return self.latency.quantile(0.95) * 1000.0
+        if name == "p99_ms":
+            return self.latency.quantile(0.99) * 1000.0
+        if name == "cache_hit_rate":
+            return self.cache_hit_rate
+        if name == "error_rate":
+            return self.error_rate
+        if name == "shed_rate":
+            return self.shed_rate
+        if name == "version_advance":
+            return float(self.version_advance)
+        raise KeyError(f"unknown window statistic {name!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form for bench reports and the stats op."""
+        return {
+            "start": self.start,
+            "width": self.width,
+            "requests": self.requests,
+            "errors": self.errors,
+            "shed": self.shed,
+            "cache_hits": self.cache_hits,
+            "throughput_rps": self.throughput,
+            "cache_hit_rate": self.cache_hit_rate,
+            "error_rate": self.error_rate,
+            "shed_rate": self.shed_rate,
+            "version_advance": self.version_advance,
+            "latency_ms": {
+                "mean": self.latency.mean * 1000.0,
+                "p50": self.latency.quantile(0.50) * 1000.0,
+                "p95": self.latency.quantile(0.95) * 1000.0,
+                "p99": self.latency.quantile(0.99) * 1000.0,
+            },
+        }
+
+
+class TimeSeriesStore:
+    """Tumbling fixed-width windows over per-request observations.
+
+    Thread-safe: the serving threads call :meth:`record_request` /
+    :meth:`record_version` concurrently while the watchdog (or the
+    exporter) reads :meth:`closed_windows`.
+
+    Args:
+        window_seconds: the width of each window.
+        capacity: closed windows kept (the ring buffer bound).
+        clock: monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 5.0,
+        capacity: int = 120,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.window_seconds = window_seconds
+        self.capacity = capacity
+        self.clock = clock
+        # Reentrant: the public methods hold it across their roll+record
+        # step while _roll() takes it again for its own accesses.
+        self._lock = threading.RLock()
+        self._epoch = clock()  # not-shared: fixed at construction
+        self._open = WindowAggregate(0.0, window_seconds)  # guarded-by: _lock
+        self._closed: deque[WindowAggregate] = deque(  # guarded-by: _lock
+            maxlen=capacity
+        )
+        self._last_version: Optional[int] = None  # guarded-by: _lock
+
+    # -- window rolling ----------------------------------------------------
+
+    def _offset(self) -> float:
+        return self.clock() - self._epoch
+
+    def _roll(self) -> None:
+        """Seal every window boundary the clock has crossed."""
+        with self._lock:
+            now = self._offset()
+            while now >= self._open.start + self.window_seconds:
+                sealed = self._open
+                self._open = WindowAggregate(
+                    sealed.start + self.window_seconds, self.window_seconds
+                )
+                # A version witnessed in an earlier window still bounds
+                # this one from below: carry the last value forward so an
+                # idle window reports advance 0, not "no version
+                # information".
+                if sealed.last_version is not None:
+                    self._last_version = sealed.last_version
+                if self._last_version is not None:
+                    self._open.record_version(self._last_version)
+                self._closed.append(sealed)
+                # Cap gap filling: when the store slept for longer than
+                # the whole ring, fast-forward instead of minting
+                # capacity*N empty windows one by one.
+                behind = now - self._open.start
+                if behind >= self.window_seconds * (self.capacity + 1):
+                    skipped = (
+                        int(behind // self.window_seconds) - self.capacity
+                    )
+                    self._open.start += skipped * self.window_seconds
+
+    # -- recording ---------------------------------------------------------
+
+    def record_request(
+        self,
+        seconds: float,
+        cached: bool = False,
+        error: bool = False,
+        shed: bool = False,
+    ) -> None:
+        """Account one finished (or shed) request to the open window."""
+        with self._lock:
+            self._roll()
+            self._open.record(seconds, cached, error, shed)
+
+    def record_version(self, version: int) -> None:
+        """Witness a D/KB version (from any reply that carried one)."""
+        with self._lock:
+            self._roll()
+            self._open.record_version(version)
+
+    # -- reading -----------------------------------------------------------
+
+    def closed_windows(self, count: Optional[int] = None) -> list[WindowAggregate]:
+        """The most recent sealed windows, oldest first."""
+        with self._lock:
+            self._roll()
+            windows = list(self._closed)
+        return windows if count is None else windows[-count:]
+
+    def latest(self) -> Optional[WindowAggregate]:
+        """The most recently sealed window, if any."""
+        windows = self.closed_windows(1)
+        return windows[0] if windows else None
+
+    def open_window(self) -> WindowAggregate:
+        """The currently filling window (live view, not yet sealed)."""
+        with self._lock:
+            self._roll()
+            return self._open
+
+    def snapshot(self, count: int = 12) -> list[dict[str, Any]]:
+        """JSON-friendly view of the last ``count`` sealed windows."""
+        return [window.to_dict() for window in self.closed_windows(count)]
+
+    def series(self, name: str, count: Optional[int] = None) -> list[float]:
+        """One named statistic across recent sealed windows, oldest first."""
+        return [w.stat(name) for w in self.closed_windows(count)]
+
+
+def ewma(values: Sequence[float], alpha: float) -> float:
+    """Exponentially weighted moving average of ``values`` (oldest first).
+
+    ``alpha`` is the weight of the newest observation; ``alpha=1`` is "just
+    the last value".  Returns 0.0 for an empty sequence.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if not values:
+        return 0.0
+    smoothed = values[0]
+    for value in values[1:]:
+        smoothed = alpha * value + (1.0 - alpha) * smoothed
+    return smoothed

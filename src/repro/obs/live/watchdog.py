@@ -1,0 +1,431 @@
+"""The SLO watchdog: sentinel↔diagnostic monitoring with reversible actions.
+
+The MicroSentinel-style loop: in **sentinel** mode the watchdog cheaply
+evaluates a few EWMA/threshold rules over the rolling time-series store
+once per window; when a rule breaches it enters **diagnostic** mode for
+that rule — applying its escalation actions (turn tracing on, flip a
+policy knob, tighten admission) — and when the signal recovers it reverts
+them, newest first, restoring the steady-state configuration.
+
+Design rules the tests pin down:
+
+* **Hysteresis, no flapping.**  A rule breaches only after
+  ``breach_windows`` *consecutive* bad windows and recovers only after
+  ``recover_windows`` consecutive good ones, and the comparison runs over
+  an EWMA of the statistic, not the raw last window.
+* **Reversible by construction.**  An action is an (apply, revert) pair;
+  the watchdog never applies twice without reverting in between, and
+  reverts in reverse application order.
+* **Every transition is a structured event** (a plain dict on a bounded
+  ring, mirrored to the ``repro.obs.live`` logger), so "what did the
+  watchdog do to my server" is answerable after the fact.
+
+The watchdog itself knows nothing about servers: actions are callables
+wired in by the serving layer (:mod:`repro.server.service`), which keeps
+this module dependency-free and the state machine testable with synthetic
+windows.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from .timeseries import TimeSeriesStore, WindowAggregate, ewma
+
+__all__ = ["CallbackAction", "SloRule", "SloWatchdog", "WatchdogEvent"]
+
+logger = logging.getLogger("repro.obs.live")
+
+#: Rule comparison directions: breach when the smoothed statistic is
+#: above (``gt``) or below (``lt``) the threshold.
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "gt": lambda value, threshold: value > threshold,
+    "lt": lambda value, threshold: value < threshold,
+}
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One service-level objective over a window statistic.
+
+    Attributes:
+        name: the rule's identity in events and logs.
+        stat: a :meth:`WindowAggregate.stat` name (``"p95_ms"``,
+            ``"cache_hit_rate"``, ...).
+        threshold: the objective's boundary value.
+        direction: ``"gt"`` breaches when the smoothed statistic exceeds
+            the threshold (latency-style); ``"lt"`` when it falls below
+            (hit-rate/throughput-style).
+        breach_windows: consecutive bad windows before the rule trips.
+        recover_windows: consecutive good windows before it recovers.
+        alpha: EWMA weight of the newest window (1.0 = no smoothing).
+        min_requests: windows with fewer finished requests are skipped
+            entirely — an idle window is no evidence of health *or*
+            sickness (and its p95 of 0.0 would otherwise "recover" a
+            latency rule spuriously).
+    """
+
+    name: str
+    stat: str
+    threshold: float
+    direction: str = "gt"
+    breach_windows: int = 2
+    recover_windows: int = 2
+    alpha: float = 0.5
+    min_requests: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in _COMPARATORS:
+            raise ValueError(
+                f"direction must be 'gt' or 'lt', got {self.direction!r}"
+            )
+        if self.breach_windows < 1 or self.recover_windows < 1:
+            raise ValueError("breach_windows and recover_windows must be >= 1")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+
+    def violated(self, value: float) -> bool:
+        return _COMPARATORS[self.direction](value, self.threshold)
+
+
+class CallbackAction:
+    """A named, reversible escalation: an (apply, revert) callable pair.
+
+    ``apply`` may return a human-readable detail string (recorded in the
+    event); ``revert`` undoes it.  The watchdog guarantees apply/revert
+    alternation, so closures may keep "previous value" state.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        apply: Callable[[], Optional[str]],
+        revert: Callable[[], None],
+    ) -> None:
+        self.name = name
+        self._apply = apply
+        self._revert = revert
+
+    def apply(self) -> Optional[str]:
+        return self._apply()
+
+    def revert(self) -> None:
+        self._revert()
+
+
+@dataclass(frozen=True)
+class WatchdogEvent:
+    """One structured watchdog transition (JSON-friendly via to_dict)."""
+
+    kind: str  # "breach" | "recover" | "action" | "revert" | "action_error"
+    rule: str
+    stat: str
+    value: float
+    threshold: float
+    at: float
+    window_start: Optional[float] = None
+    detail: str = ""
+    actions: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rule": self.rule,
+            "stat": self.stat,
+            "value": self.value,
+            "threshold": self.threshold,
+            "at": self.at,
+            "window_start": self.window_start,
+            "detail": self.detail,
+            "actions": list(self.actions),
+        }
+
+
+class _RuleState:
+    """Per-rule bookkeeping: hysteresis counters + applied actions."""
+
+    __slots__ = ("breached", "bad_streak", "good_streak", "smoothed", "applied")
+
+    def __init__(self) -> None:
+        self.breached = False
+        self.bad_streak = 0
+        self.good_streak = 0
+        self.smoothed: Optional[float] = None
+        self.applied = False
+
+
+class SloWatchdog:
+    """Evaluates SLO rules over a store and runs their escalations.
+
+    Args:
+        store: the rolling window store being watched.
+        rules: ``(rule, actions)`` pairs; a rule's actions are applied on
+            breach and reverted on recovery.
+        clock: timestamp source for events (defaults to the store's).
+        max_events: bound on the retained event ring.
+
+    Use :meth:`tick` directly for deterministic control (tests, benches
+    with fake clocks) or :meth:`start` for a background thread ticking
+    once per store window.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        rules: Sequence[tuple[SloRule, Sequence[CallbackAction]]],
+        clock: Optional[Callable[[], float]] = None,
+        max_events: int = 256,
+    ) -> None:
+        names = [rule.name for rule, _ in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {names}")
+        self.store = store
+        self.rules: list[tuple[SloRule, list[CallbackAction]]] = [
+            (rule, list(actions)) for rule, actions in rules
+        ]
+        self.clock = clock if clock is not None else store.clock
+        # Reentrant: tick() holds it across the evaluation sweep while
+        # _evaluate()/_transition() take it again for their own accesses.
+        self._lock = threading.RLock()
+        self._states: dict[str, _RuleState] = {  # guarded-by: _lock
+            rule.name: _RuleState() for rule, _ in self.rules
+        }
+        self._events: deque[WatchdogEvent] = deque(maxlen=max_events)  # guarded-by: _lock
+        self._last_seen_start = float("-inf")  # guarded-by: _lock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- introspection -----------------------------------------------------
+
+    def events(self) -> list[WatchdogEvent]:
+        """Every retained transition, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def breached_rules(self) -> list[str]:
+        """Names of the rules currently in the breached state."""
+        with self._lock:
+            return [
+                name for name, state in self._states.items() if state.breached
+            ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-friendly state for the ``stats`` op and bench reports."""
+        with self._lock:
+            return {
+                "rules": {
+                    rule.name: {
+                        "stat": rule.stat,
+                        "threshold": rule.threshold,
+                        "direction": rule.direction,
+                        "breached": self._states[rule.name].breached,
+                        "smoothed": self._states[rule.name].smoothed,
+                    }
+                    for rule, _ in self.rules
+                },
+                "events": [event.to_dict() for event in self._events],
+            }
+
+    # -- the evaluation step ----------------------------------------------
+
+    def tick(self) -> list[WatchdogEvent]:
+        """Evaluate every rule against windows sealed since the last tick.
+
+        Idempotent between window boundaries: a tick that sees no newly
+        sealed window does nothing, so over-ticking cannot double-count
+        hysteresis streaks.  Returns the events this tick produced.
+        """
+        windows = self.store.closed_windows()
+        produced: list[WatchdogEvent] = []
+        with self._lock:
+            # Window starts are strictly increasing, so "newer than the
+            # last one I evaluated" stays correct even when the bounded
+            # ring evicted entries while we slept.
+            fresh = [w for w in windows if w.start > self._last_seen_start]
+            if windows:
+                self._last_seen_start = windows[-1].start
+            for window in fresh:
+                for rule, actions in self.rules:
+                    produced.extend(self._evaluate(rule, actions, window))
+            for event in produced:
+                self._events.append(event)
+        for event in produced:
+            logger.info(
+                "watchdog %s rule=%s %s=%.4g threshold=%.4g %s",
+                event.kind,
+                event.rule,
+                event.stat,
+                event.value,
+                event.threshold,
+                event.detail,
+            )
+        return produced
+
+    def _evaluate(
+        self,
+        rule: SloRule,
+        actions: list[CallbackAction],
+        window: WindowAggregate,
+    ) -> list[WatchdogEvent]:
+        """Advance one rule's state machine by one window."""
+        with self._lock:
+            state = self._states[rule.name]
+            return self._evaluate_locked(rule, actions, window, state)
+
+    def _evaluate_locked(
+        self,
+        rule: SloRule,
+        actions: list[CallbackAction],
+        window: WindowAggregate,
+        state: _RuleState,
+    ) -> list[WatchdogEvent]:
+        if window.ok_requests < rule.min_requests:
+            return []
+        raw = window.stat(rule.stat)
+        state.smoothed = (
+            raw
+            if state.smoothed is None
+            else ewma([state.smoothed, raw], rule.alpha)
+        )
+        value = state.smoothed
+        events: list[WatchdogEvent] = []
+        if rule.violated(value):
+            state.bad_streak += 1
+            state.good_streak = 0
+            if not state.breached and state.bad_streak >= rule.breach_windows:
+                state.breached = True
+                events.append(
+                    self._transition(
+                        "breach", rule, actions, value, window, apply=True
+                    )
+                )
+        else:
+            state.good_streak += 1
+            state.bad_streak = 0
+            if state.breached and state.good_streak >= rule.recover_windows:
+                state.breached = False
+                events.append(
+                    self._transition(
+                        "recover", rule, actions, value, window, apply=False
+                    )
+                )
+        return events
+
+    def _transition(
+        self,
+        kind: str,
+        rule: SloRule,
+        actions: list[CallbackAction],
+        value: float,
+        window: WindowAggregate,
+        apply: bool,
+    ) -> WatchdogEvent:
+        with self._lock:
+            state = self._states[rule.name]
+        details: list[str] = []
+        ran: list[str] = []
+        if apply and not state.applied:
+            state.applied = True
+            for action in actions:
+                try:
+                    detail = action.apply()
+                except Exception as error:  # pragma: no cover - defensive
+                    details.append(f"{action.name} failed: {error}")
+                else:
+                    ran.append(action.name)
+                    if detail:
+                        details.append(detail)
+        elif not apply and state.applied:
+            state.applied = False
+            for action in reversed(actions):
+                try:
+                    action.revert()
+                except Exception as error:  # pragma: no cover - defensive
+                    details.append(f"revert {action.name} failed: {error}")
+                else:
+                    ran.append(action.name)
+        return WatchdogEvent(
+            kind=kind,
+            rule=rule.name,
+            stat=rule.stat,
+            value=value,
+            threshold=rule.threshold,
+            at=self.clock(),
+            window_start=window.start,
+            detail="; ".join(details),
+            actions=tuple(ran),
+        )
+
+    # -- background loop ---------------------------------------------------
+
+    def start(self) -> "SloWatchdog":
+        """Tick from a background thread once per store window width."""
+        if self._thread is not None:
+            raise RuntimeError("watchdog already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="dkb-slo-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        period = self.store.window_seconds
+        while not self._stop.wait(period):
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - keep the loop alive
+                logger.exception("watchdog tick failed")
+
+    def close(self) -> None:
+        """Stop the loop and revert anything still escalated."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.restore()
+
+    def restore(self) -> None:
+        """Force-revert every applied escalation (shutdown safety net)."""
+        produced: list[WatchdogEvent] = []
+        with self._lock:
+            for rule, actions in self.rules:
+                state = self._states[rule.name]
+                if not state.applied:
+                    continue
+                state.applied = False
+                state.breached = False
+                state.bad_streak = state.good_streak = 0
+                ran: list[str] = []
+                for action in reversed(actions):
+                    try:
+                        action.revert()
+                    except Exception:  # pragma: no cover - defensive
+                        logger.exception("revert %s failed", action.name)
+                    else:
+                        ran.append(action.name)
+                produced.append(
+                    WatchdogEvent(
+                        kind="revert",
+                        rule=rule.name,
+                        stat=rule.stat,
+                        value=state.smoothed or 0.0,
+                        threshold=rule.threshold,
+                        at=self.clock(),
+                        detail="restored on close",
+                        actions=tuple(ran),
+                    )
+                )
+            for event in produced:
+                self._events.append(event)
+
+    def __enter__(self) -> "SloWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

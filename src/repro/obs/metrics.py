@@ -79,6 +79,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` (0..1) quantile from the buckets.
+
+        Standard cumulative-bucket estimation (the Prometheus
+        ``histogram_quantile`` rule): find the first bucket whose
+        cumulative count reaches ``fraction * count``, then interpolate
+        linearly between the bucket's lower and upper bound assuming the
+        observations inside it are uniform.  The overflow bucket has no
+        upper bound, so a quantile landing there reports the largest
+        finite bound — a deliberate underestimate rather than a guess.
+
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if not in_bucket:
+                cumulative += in_bucket
+                continue
+            if cumulative + in_bucket >= target:
+                lower = self.bounds[index - 1] if index else 0.0
+                position = max(0.0, target - cumulative) / in_bucket
+                return lower + (bound - lower) * min(1.0, position)
+            cumulative += in_bucket
+        # Landed in the overflow bucket.
+        return self.bounds[-1] if self.bounds else 0.0
+
 
 class MetricsRegistry:
     """Named instruments, created on first use."""

@@ -12,8 +12,9 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
+from ..obs.metrics import MetricsRegistry
 from .protocol import ErrorCode
 
 
@@ -49,14 +50,19 @@ class AdmissionController:
         slots: int,
         max_waiters: int = 16,
         default_timeout: float | None = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if slots <= 0:
             raise ValueError(f"slots must be positive, got {slots}")
         if max_waiters < 0:
             raise ValueError(f"max_waiters must be >= 0, got {max_waiters}")
-        self.slots = slots
-        self.max_waiters = max_waiters
+        self.slots = slots  # guarded-by: _lock
+        self.max_waiters = max_waiters  # guarded-by: _lock
         self.default_timeout = default_timeout
+        # Mirror the outcome counters into the shared registry at the
+        # moment they happen, so the /metrics exporter sees admission
+        # decisions (shed rate in particular) without bespoke plumbing.
+        self._metrics = metrics
         self._lock = threading.Lock()
         self._free = threading.Condition(self._lock)
         self._in_use = 0  # guarded-by: _lock
@@ -65,6 +71,11 @@ class AdmissionController:
         self.rejected_busy = 0  # guarded-by: _lock
         self.rejected_timeout = 0  # guarded-by: _lock
         self.peak_in_use = 0  # guarded-by: _lock
+
+    def _count(self, name: str) -> None:
+        """Bump one mirrored ``server.admission.*`` counter (if wired)."""
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
 
     @property
     def in_use(self) -> int:
@@ -96,6 +107,7 @@ class AdmissionController:
             if self._in_use >= self.slots:
                 if self._waiting >= self.max_waiters:
                     self.rejected_busy += 1
+                    self._count("server.admission.rejected_busy")
                     raise ServerBusy(
                         f"all {self.slots} session slots busy and "
                         f"{self._waiting} requests already queued"
@@ -113,6 +125,7 @@ class AdmissionController:
                         )
                         if remaining is not None and remaining <= 0:
                             self.rejected_timeout += 1
+                            self._count("server.admission.rejected_timeout")
                             raise AdmissionTimeout(
                                 f"no session slot freed within {timeout:.3f}s"
                             )
@@ -121,6 +134,7 @@ class AdmissionController:
                     self._waiting -= 1
             self._in_use += 1
             self.admitted += 1
+            self._count("server.admission.admitted")
             self.peak_in_use = max(self.peak_in_use, self._in_use)
 
     def release(self) -> None:
@@ -141,6 +155,38 @@ class AdmissionController:
         """
         with self._lock:
             self.rejected_timeout += 1
+            self._count("server.admission.rejected_timeout")
+
+    def resize(
+        self,
+        slots: Optional[int] = None,
+        max_waiters: Optional[int] = None,
+    ) -> tuple[int, int]:
+        """Change the concurrency limits of a live controller.
+
+        The SLO watchdog's tighten/relax action: shrinking ``max_waiters``
+        sheds earlier (overload protection), shrinking ``slots`` drains
+        naturally — holders finish, new admissions wait until the in-use
+        count is under the new bound.  Growing either wakes every waiter
+        so newly legal admissions happen immediately.
+
+        Returns the previous ``(slots, max_waiters)`` pair so the caller
+        can restore it on recovery.
+        """
+        if slots is not None and slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        if max_waiters is not None and max_waiters < 0:
+            raise ValueError(f"max_waiters must be >= 0, got {max_waiters}")
+        with self._lock:
+            previous = (self.slots, self.max_waiters)
+            if slots is not None:
+                grew = slots > self.slots
+                self.slots = slots
+                if grew:
+                    self._free.notify_all()
+            if max_waiters is not None:
+                self.max_waiters = max_waiters
+            return previous
 
     @contextmanager
     def admit(self, timeout: float | None = None) -> Iterator[None]:

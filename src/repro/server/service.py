@@ -22,7 +22,11 @@ from typing import Any, BinaryIO, Optional
 
 from ..errors import ParseError, TestbedError
 from ..km.partition import PartitionSpec
+from ..km.policy import ServingPolicy
 from ..obs.metrics import MetricsRegistry
+from ..obs.live.exporter import MetricsExporter
+from ..obs.live.timeseries import TimeSeriesStore
+from ..obs.live.watchdog import CallbackAction, SloRule, SloWatchdog
 from ..runtime.context import FastPathConfig
 from ..runtime.program import LfpStrategy
 from .admission import AdmissionError
@@ -38,6 +42,47 @@ from .protocol import (
     ok_reply,
     validate_request,
 )
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """The SLO watchdog's rules and escalation levers for one server.
+
+    Two built-in rules (each disabled by passing ``None``):
+
+    * **latency**: breach when the EWMA of per-window p95 request latency
+      exceeds ``p95_ms`` milliseconds;
+    * **cache**: breach when the EWMA of the per-window result-cache hit
+      rate falls below ``cache_hit_rate``.
+
+    Escalations on a latency breach (each individually reversible, all
+    reverted on recovery): ``escalate_tracing`` turns structured tracing
+    on across the pool's sessions (diagnostic mode), ``switch_strategy``
+    overrides the default LFP strategy on :class:`~repro.km.policy.
+    ServingPolicy` (e.g. onto the recursive-CTE fast path),
+    ``switch_optimize`` overrides the magic-sets default, and
+    ``tighten_waiters`` shrinks the admission wait queue to shed earlier.
+    A cache breach escalates tracing only — a cold cache is a thing to
+    diagnose, not to shed over.
+
+    ``auto_start`` runs the evaluation loop on a background thread once
+    per window; benches and deterministic tests pass ``False`` and drive
+    :meth:`~repro.obs.live.watchdog.SloWatchdog.tick` themselves.
+    """
+
+    window_seconds: float = 5.0
+    capacity: int = 120
+    p95_ms: Optional[float] = 250.0
+    cache_hit_rate: Optional[float] = None
+    breach_windows: int = 2
+    recover_windows: int = 2
+    alpha: float = 0.5
+    min_requests: int = 1
+    escalate_tracing: bool = True
+    switch_strategy: Optional[str] = LfpStrategy.LFP_CTE.value
+    switch_optimize: "bool | str | None" = None
+    tighten_waiters: Optional[int] = 2
+    auto_start: bool = True
 
 
 @dataclass(frozen=True)
@@ -73,6 +118,13 @@ class ServerConfig:
             carried in ``STALE_REPLICA``/``WRONG_SHARD`` hints.
         replication_poll: the replica refresh cadence advertised as
             ``retry_after`` in ``STALE_REPLICA`` replies.
+        metrics_port: serve Prometheus ``/metrics`` on this side port
+            (``0`` = ephemeral; ``None`` = no exporter, no HTTP listener,
+            zero added work on the serving path).
+        watchdog: SLO monitoring + adaptive escalation configuration
+            (``None`` = off).  Enabling either ``metrics_port`` or
+            ``watchdog`` also turns on the rolling time-series store fed
+            by per-request spans.
     """
 
     path: str
@@ -90,6 +142,8 @@ class ServerConfig:
     role: str = "primary"
     leader: Optional[tuple[str, int]] = None
     replication_poll: float = 0.25
+    metrics_port: Optional[int] = None
+    watchdog: Optional[WatchdogConfig] = None
 
     pool_kwargs: dict[str, Any] = field(default_factory=dict, compare=False)
 
@@ -157,12 +211,13 @@ class _Handler(socketserver.StreamRequestHandler):
                     ErrorCode.INTERNAL,
                     f"{type(error).__name__}: {error}",
                 )
+            elapsed = time.perf_counter() - started
             dkb.metrics.counter("server.requests").inc()
             if not reply.get("ok"):
                 dkb.metrics.counter("server.errors").inc()
-            dkb.metrics.histogram("server.request_seconds").observe(
-                time.perf_counter() - started
-            )
+            dkb.metrics.histogram("server.request_seconds").observe(elapsed)
+            if dkb.timeseries is not None:
+                dkb.record_span(reply, elapsed)
             if not self._send(reply):
                 return
 
@@ -193,6 +248,7 @@ class DkbServer:
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
         self.metrics = MetricsRegistry()
+        self.policy = ServingPolicy()
         self.cache: Optional[VersionedResultCache] = (
             VersionedResultCache(config.cache_size, metrics=self.metrics)
             if config.cache_size > 0
@@ -211,6 +267,32 @@ class DkbServer:
             shard_index=config.shard_id,
             **config.pool_kwargs,
         )
+        # Live observability: the time-series store exists whenever
+        # something consumes it (the exporter or the watchdog); otherwise
+        # the serving path pays exactly one `is not None` test per request.
+        self.timeseries: Optional[TimeSeriesStore] = None
+        self.exporter: Optional[MetricsExporter] = None
+        self.watchdog: Optional[SloWatchdog] = None
+        window = config.watchdog or WatchdogConfig()
+        if config.metrics_port is not None or config.watchdog is not None:
+            self.timeseries = TimeSeriesStore(
+                window_seconds=window.window_seconds,
+                capacity=window.capacity,
+            )
+        if config.watchdog is not None:
+            assert self.timeseries is not None  # created just above
+            self.watchdog = SloWatchdog(
+                self.timeseries, self._watchdog_rules(config.watchdog)
+            )
+            if config.watchdog.auto_start:
+                self.watchdog.start()
+        if config.metrics_port is not None:
+            self.exporter = (
+                MetricsExporter(config.host, config.metrics_port)
+                .add_source(self.metrics, self._identity())
+                .add_refresher(self._refresh_gauges)
+                .start()
+            )
         self._tcp = _TcpServer((config.host, config.port), _Handler)
         self._tcp.dkb = self
         self._thread: Optional[threading.Thread] = None
@@ -248,6 +330,10 @@ class DkbServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.watchdog is not None:
+            self.watchdog.close()  # reverts any escalation still applied
+        if self.exporter is not None:
+            self.exporter.close()
         self.pool.close()
 
     def __enter__(self) -> "DkbServer":
@@ -255,6 +341,169 @@ class DkbServer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- live observability ------------------------------------------------
+
+    def record_span(self, reply: dict[str, Any], elapsed: float) -> None:
+        """Feed one finished request into the rolling time-series store."""
+        store = self.timeseries
+        if store is None:  # pragma: no cover - callers check first
+            return
+        ok = bool(reply.get("ok"))
+        code = "" if ok else str(reply.get("error", {}).get("code", ""))
+        shed = code in ("SERVER_BUSY", "TIMEOUT")
+        store.record_request(
+            elapsed,
+            cached=bool(reply.get("cached")),
+            error=not ok and not shed,
+            shed=shed,
+        )
+        version = reply.get("version")
+        if isinstance(version, int):
+            store.record_version(version)
+
+    def _watchdog_rules(
+        self, config: WatchdogConfig
+    ) -> "list[tuple[SloRule, list[CallbackAction]]]":
+        """The built-in SLO rules wired to this server's levers."""
+        rules: list[tuple[SloRule, list[CallbackAction]]] = []
+        if config.p95_ms is not None:
+            actions: list[CallbackAction] = []
+            if config.escalate_tracing:
+                actions.append(self._tracing_action())
+            if config.switch_strategy is not None:
+                actions.append(
+                    self._policy_action(
+                        "policy.strategy",
+                        self.policy.set_strategy,
+                        config.switch_strategy,
+                    )
+                )
+            if config.switch_optimize is not None:
+                actions.append(
+                    self._policy_action(
+                        "policy.optimize",
+                        self.policy.set_optimize,
+                        config.switch_optimize,
+                    )
+                )
+            if config.tighten_waiters is not None:
+                actions.append(self._admission_action(config.tighten_waiters))
+            rules.append(
+                (
+                    SloRule(
+                        "p95_latency",
+                        "p95_ms",
+                        config.p95_ms,
+                        direction="gt",
+                        breach_windows=config.breach_windows,
+                        recover_windows=config.recover_windows,
+                        alpha=config.alpha,
+                        min_requests=config.min_requests,
+                    ),
+                    actions,
+                )
+            )
+        if config.cache_hit_rate is not None:
+            cache_actions = (
+                [self._tracing_action()] if config.escalate_tracing else []
+            )
+            rules.append(
+                (
+                    SloRule(
+                        "cache_hit_rate",
+                        "cache_hit_rate",
+                        config.cache_hit_rate,
+                        direction="lt",
+                        breach_windows=config.breach_windows,
+                        recover_windows=config.recover_windows,
+                        alpha=config.alpha,
+                        min_requests=config.min_requests,
+                    ),
+                    cache_actions,
+                )
+            )
+        return rules
+
+    def _tracing_action(self) -> CallbackAction:
+        """Escalate/restore structured tracing on the pool's sessions."""
+
+        def apply() -> str:
+            self.pool.escalate_tracing()
+            self.metrics.counter("server.watchdog.trace_escalations").inc()
+            return "tracing escalated"
+
+        return CallbackAction("escalate_tracing", apply, self.pool.restore_tracing)
+
+    def _policy_action(
+        self, name: str, setter: Any, value: Any
+    ) -> CallbackAction:
+        """Flip one ServingPolicy knob, restoring the previous override."""
+        previous: list[Any] = []
+
+        def apply() -> str:
+            previous.append(setter(value))
+            self.metrics.counter("server.watchdog.policy_switches").inc()
+            return f"{name} -> {value!r}"
+
+        def revert() -> None:
+            setter(previous.pop() if previous else None)
+
+        return CallbackAction(name, apply, revert)
+
+    def _admission_action(self, waiters: int) -> CallbackAction:
+        """Tighten the admission wait queue; restore the old bound after."""
+        previous: list[tuple[int, int]] = []
+
+        def apply() -> str:
+            previous.append(self.pool.admission.resize(max_waiters=waiters))
+            self.metrics.counter("server.watchdog.admission_tightenings").inc()
+            return f"admission max_waiters -> {waiters}"
+
+        def revert() -> None:
+            if previous:
+                _, max_waiters = previous.pop()
+                self.pool.admission.resize(max_waiters=max_waiters)
+
+        return CallbackAction("tighten_admission", apply, revert)
+
+    def _refresh_gauges(self) -> None:
+        """Pre-scrape hook: mirror point-in-time state into gauges."""
+        admission = self.pool.admission.snapshot()
+        self.metrics.gauge("server.admission.in_use").set(
+            float(admission["in_use"] or 0)
+        )
+        self.metrics.gauge("server.admission.waiting").set(
+            float(admission["waiting"] or 0)
+        )
+        self.metrics.gauge("server.admission.slots").set(
+            float(admission["slots"] or 0)
+        )
+        self.metrics.gauge("server.admission.max_waiters").set(
+            float(admission["max_waiters"] or 0)
+        )
+        self.metrics.gauge("server.dkb_version").set(float(self.pool.version()))
+        store = self.timeseries
+        if store is not None:
+            latest = store.latest()
+            if latest is not None:
+                for stat in (
+                    "throughput",
+                    "p50_ms",
+                    "p95_ms",
+                    "p99_ms",
+                    "cache_hit_rate",
+                    "shed_rate",
+                    "error_rate",
+                    "version_advance",
+                ):
+                    self.metrics.gauge(f"server.window.{stat}").set(
+                        latest.stat(stat)
+                    )
+        if self.watchdog is not None:
+            self.metrics.gauge("server.watchdog.breached").set(
+                float(len(self.watchdog.breached_rules()))
+            )
 
     # -- request dispatch --------------------------------------------------
 
@@ -355,7 +604,12 @@ class DkbServer:
     def _dispatch_query(
         self, message: dict[str, Any], session: ReaderSession
     ) -> dict[str, Any]:
-        strategy_name = message.get("strategy", LfpStrategy.SEMINAIVE.value)
+        # ServingPolicy overrides fill in knobs the client left out; an
+        # explicit value in the request always wins (see km.policy).
+        strategy_name = message.get(
+            "strategy",
+            self.policy.default_strategy(LfpStrategy.SEMINAIVE.value),
+        )
         try:
             strategy = LfpStrategy(strategy_name)
         except ValueError:
@@ -364,13 +618,15 @@ class DkbServer:
                 ErrorCode.BAD_REQUEST,
                 f"unknown strategy {strategy_name!r}; expected one of: {known}",
             ) from None
+        optimize = message.get("optimize", self.policy.default_optimize(False))
+        use_cache = message.get("use_cache", self.policy.default_use_cache(True))
         result = session.query(
             message["q"],
             bindings=message.get("bindings"),
             strategy=strategy,
-            optimize=message.get("optimize", False),
+            optimize=optimize,
             use_views=message.get("use_views", True),
-            use_cache=message.get("use_cache", True),
+            use_cache=use_cache,
             timeout=self.config.request_timeout,
             min_version=message.get("min_version"),
         )
@@ -423,10 +679,18 @@ class DkbServer:
 
     def stats(self) -> dict[str, Any]:
         """The ``stats`` op payload: pool, cache, admission, and metrics."""
-        return {
+        payload = {
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": time.time() - self.started_at,
             "pool": self.pool.snapshot(),
             "metrics": self.metrics.snapshot(),
+            "policy": self.policy.overrides(),
             **self._identity(),
         }
+        if self.timeseries is not None:
+            payload["windows"] = self.timeseries.snapshot()
+        if self.watchdog is not None:
+            payload["watchdog"] = self.watchdog.snapshot()
+        if self.exporter is not None:
+            payload["metrics_address"] = list(self.exporter.address)
+        return payload

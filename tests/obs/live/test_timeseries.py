@@ -1,0 +1,168 @@
+"""Unit tests for the rolling time-series store (fake-clock driven)."""
+
+import pytest
+
+from repro.obs.live.timeseries import TimeSeriesStore, WindowAggregate, ewma
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock: FakeClock) -> TimeSeriesStore:
+    return TimeSeriesStore(window_seconds=1.0, capacity=4, clock=clock)
+
+
+class TestWindowRolling:
+    def test_no_closed_windows_before_first_boundary(self, store, clock):
+        store.record_request(0.01)
+        assert store.closed_windows() == []
+        assert store.latest() is None
+
+    def test_crossing_a_boundary_seals_the_window(self, store, clock):
+        store.record_request(0.01)
+        store.record_request(0.02, cached=True)
+        clock.advance(1.0)
+        sealed = store.latest()
+        assert sealed is not None
+        assert sealed.requests == 2
+        assert sealed.cache_hits == 1
+        # The open window restarted at the next boundary.
+        assert store.open_window().start == pytest.approx(1.0)
+        assert store.open_window().requests == 0
+
+    def test_idle_gap_produces_empty_windows(self, store, clock):
+        store.record_request(0.01)
+        clock.advance(3.0)
+        windows = store.closed_windows()
+        assert len(windows) == 3
+        assert windows[0].requests == 1
+        assert windows[1].requests == 0
+        assert windows[2].requests == 0
+        assert [w.start for w in windows] == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_ring_buffer_is_bounded(self, store, clock):
+        for _ in range(10):
+            store.record_request(0.01)
+            clock.advance(1.0)
+        windows = store.closed_windows()
+        assert len(windows) == 4  # capacity
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    def test_long_sleep_fast_forwards_instead_of_minting_windows(
+        self, store, clock
+    ):
+        store.record_request(0.01)
+        clock.advance(1000.0)
+        # Still bounded, and the store keeps accepting traffic afterwards.
+        assert len(store.closed_windows()) <= store.capacity
+        store.record_request(0.02)
+        assert store.open_window().requests == 1
+
+    def test_closed_windows_count_argument(self, store, clock):
+        for _ in range(4):
+            store.record_request(0.01)
+            clock.advance(1.0)
+        assert len(store.closed_windows(2)) == 2
+        assert store.closed_windows(2)[-1].start == pytest.approx(3.0)
+
+
+class TestWindowStats:
+    def test_stat_names(self, store, clock):
+        store.record_request(0.010)
+        store.record_request(0.020, cached=True)
+        store.record_request(0.030, error=True)
+        store.record_request(0.0, shed=True)
+        store.record_version(5)
+        store.record_version(8)
+        clock.advance(1.0)
+        window = store.latest()
+        assert window is not None
+        assert window.requests == 3
+        assert window.ok_requests == 2
+        assert window.stat("throughput") == pytest.approx(2.0)
+        assert window.stat("cache_hit_rate") == pytest.approx(0.5)
+        assert window.stat("error_rate") == pytest.approx(1 / 3)
+        assert window.stat("shed_rate") == pytest.approx(1 / 4)
+        assert window.stat("version_advance") == pytest.approx(3.0)
+        assert window.stat("p95_ms") > 0.0
+        with pytest.raises(KeyError):
+            window.stat("nope")
+
+    def test_version_carries_across_idle_windows(self, store, clock):
+        store.record_version(7)
+        clock.advance(2.0)
+        store.record_version(7)
+        clock.advance(1.0)
+        # The idle window inherited version 7, so its advance is 0 rather
+        # than unknown, and a same-version window also advances by 0.
+        for window in store.closed_windows():
+            assert window.version_advance == 0
+
+    def test_series_returns_one_stat_per_window(self, store, clock):
+        for count in (1, 2, 3):
+            for _ in range(count):
+                store.record_request(0.01)
+            clock.advance(1.0)
+        assert store.series("throughput") == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_snapshot_is_json_friendly(self, store, clock):
+        store.record_request(0.01)
+        clock.advance(1.0)
+        snapshot = store.snapshot()
+        assert len(snapshot) == 1
+        row = snapshot[0]
+        assert row["requests"] == 1
+        assert "latency_ms" in row and "p95" in row["latency_ms"]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(window_seconds=0.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=0)
+
+
+class TestEwma:
+    def test_empty_is_zero(self):
+        assert ewma([], 0.5) == 0.0
+
+    def test_alpha_one_is_last_value(self):
+        assert ewma([1.0, 2.0, 3.0], 1.0) == 3.0
+
+    def test_smoothing(self):
+        assert ewma([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        assert ewma([0.0, 10.0, 10.0], 0.5) == pytest.approx(7.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ewma([1.0], 0.0)
+        with pytest.raises(ValueError):
+            ewma([1.0], 1.5)
+
+
+class TestAggregateDirect:
+    def test_empty_window_rates_are_zero(self):
+        window = WindowAggregate(0.0, 1.0)
+        assert window.throughput == 0.0
+        assert window.cache_hit_rate == 0.0
+        assert window.error_rate == 0.0
+        assert window.shed_rate == 0.0
+        assert window.version_advance == 0

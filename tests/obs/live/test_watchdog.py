@@ -1,0 +1,276 @@
+"""State-machine tests for the SLO watchdog (synthetic windows, fake clock).
+
+Every test drives a real :class:`TimeSeriesStore` with a fake clock:
+record synthetic latencies, advance the clock one window, tick.  The
+watchdog sees exactly the windows the test sealed, so breach/recover
+timing is deterministic.
+"""
+
+import pytest
+
+from repro.obs.live.timeseries import TimeSeriesStore
+from repro.obs.live.watchdog import CallbackAction, SloRule, SloWatchdog
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class RecordingAction(CallbackAction):
+    """An action that logs its apply/revert calls into a shared journal."""
+
+    def __init__(self, name: str, journal: list) -> None:
+        super().__init__(
+            name,
+            apply=lambda: journal.append(("apply", name)) or f"{name} on",
+            revert=lambda: journal.append(("revert", name)),
+        )
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock: FakeClock) -> TimeSeriesStore:
+    return TimeSeriesStore(window_seconds=1.0, capacity=32, clock=clock)
+
+
+def make_watchdog(store, journal, *, alpha=1.0, breach=2, recover=2):
+    rule = SloRule(
+        name="p95_latency",
+        stat="p95_ms",
+        threshold=100.0,
+        direction="gt",
+        breach_windows=breach,
+        recover_windows=recover,
+        alpha=alpha,
+        min_requests=1,
+    )
+    actions = [
+        RecordingAction("trace", journal),
+        RecordingAction("strategy", journal),
+        RecordingAction("admission", journal),
+    ]
+    return SloWatchdog(store, [(rule, actions)])
+
+
+def seal(store, clock, latency_seconds, requests=4):
+    """Record one window of identical latencies and seal it."""
+    for _ in range(requests):
+        store.record_request(latency_seconds)
+    clock.advance(store.window_seconds)
+
+
+class TestBreach:
+    def test_breach_after_exactly_breach_windows(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        seal(store, clock, 0.5)  # 500ms > 100ms objective
+        assert watchdog.tick() == []  # one bad window: not yet
+        assert not journal
+        seal(store, clock, 0.5)
+        events = watchdog.tick()
+        assert [event.kind for event in events] == ["breach"]
+        assert events[0].rule == "p95_latency"
+        assert events[0].actions == ("trace", "strategy", "admission")
+        assert watchdog.breached_rules() == ["p95_latency"]
+        assert journal == [
+            ("apply", "trace"),
+            ("apply", "strategy"),
+            ("apply", "admission"),
+        ]
+
+    def test_actions_never_applied_twice(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        for _ in range(6):
+            seal(store, clock, 0.5)
+            watchdog.tick()
+        assert journal.count(("apply", "trace")) == 1
+
+    def test_good_window_resets_the_bad_streak(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        seal(store, clock, 0.5)
+        watchdog.tick()
+        seal(store, clock, 0.001)  # healthy window in between
+        watchdog.tick()
+        seal(store, clock, 0.5)
+        watchdog.tick()
+        assert not journal  # never two *consecutive* bad windows
+
+    def test_idle_windows_are_no_evidence(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        seal(store, clock, 0.5)
+        watchdog.tick()
+        clock.advance(1.0)  # idle window: below min_requests, skipped
+        watchdog.tick()
+        seal(store, clock, 0.5)
+        events = watchdog.tick()
+        # The idle window neither reset the streak nor counted toward it:
+        # the second bad window completes the breach.
+        assert [event.kind for event in events] == ["breach"]
+
+
+class TestRecover:
+    def test_recover_reverts_in_reverse_order(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        for _ in range(2):
+            seal(store, clock, 0.5)
+            watchdog.tick()
+        journal.clear()
+        seal(store, clock, 0.001)
+        assert watchdog.tick() == []  # one good window: not yet
+        seal(store, clock, 0.001)
+        events = watchdog.tick()
+        assert [event.kind for event in events] == ["recover"]
+        assert watchdog.breached_rules() == []
+        assert journal == [
+            ("revert", "admission"),
+            ("revert", "strategy"),
+            ("revert", "trace"),
+        ]
+
+    def test_no_flapping_on_alternating_windows(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        for index in range(10):
+            seal(store, clock, 0.5 if index % 2 == 0 else 0.001)
+            watchdog.tick()
+        # Alternating good/bad never sustains either streak: no
+        # transitions at all, let alone apply/revert churn.
+        assert journal == []
+        assert watchdog.events() == []
+
+    def test_full_cycle_can_repeat(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        for _ in range(2):
+            for _ in range(2):
+                seal(store, clock, 0.5)
+                watchdog.tick()
+            for _ in range(2):
+                seal(store, clock, 0.001)
+                watchdog.tick()
+        kinds = [event.kind for event in watchdog.events()]
+        assert kinds == ["breach", "recover", "breach", "recover"]
+        assert journal.count(("apply", "trace")) == 2
+        assert journal.count(("revert", "trace")) == 2
+
+
+class TestSmoothing:
+    def test_ewma_delays_recovery(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal, alpha=0.5)
+        for _ in range(3):
+            seal(store, clock, 1.0)  # smoothed ~1000ms
+            watchdog.tick()
+        assert watchdog.breached_rules() == ["p95_latency"]
+        # Two instantly-good windows are not enough: the EWMA decays
+        # 1000 -> ~500 -> ~250, still above the 100ms objective.
+        for _ in range(2):
+            seal(store, clock, 0.0005)
+            watchdog.tick()
+        assert watchdog.breached_rules() == ["p95_latency"]
+        for _ in range(4):
+            seal(store, clock, 0.0005)
+            watchdog.tick()
+        assert watchdog.breached_rules() == []
+
+
+class TestTickDiscipline:
+    def test_tick_is_idempotent_between_boundaries(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        seal(store, clock, 0.5)
+        seal(store, clock, 0.5)
+        watchdog.tick()
+        assert len(watchdog.events()) == 1
+        for _ in range(5):
+            assert watchdog.tick() == []  # no new window, no new evidence
+
+    def test_one_tick_consumes_a_backlog_of_windows(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        for _ in range(4):
+            seal(store, clock, 0.5)
+        events = watchdog.tick()  # sees all four sealed windows at once
+        assert [event.kind for event in events] == ["breach"]
+
+
+class TestRestore:
+    def test_close_reverts_outstanding_escalations(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        for _ in range(2):
+            seal(store, clock, 0.5)
+            watchdog.tick()
+        journal.clear()
+        watchdog.close()
+        assert journal == [
+            ("revert", "admission"),
+            ("revert", "strategy"),
+            ("revert", "trace"),
+        ]
+        events = watchdog.events()
+        assert events[-1].kind == "revert"
+        assert events[-1].detail == "restored on close"
+
+    def test_close_without_breach_reverts_nothing(self, store, clock):
+        journal: list = []
+        watchdog = make_watchdog(store, journal)
+        seal(store, clock, 0.001)
+        watchdog.tick()
+        watchdog.close()
+        assert journal == []
+
+
+class TestValidation:
+    def test_duplicate_rule_names_rejected(self, store):
+        rule = SloRule(name="r", stat="p95_ms", threshold=1.0)
+        with pytest.raises(ValueError):
+            SloWatchdog(store, [(rule, []), (rule, [])])
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule(name="r", stat="p95_ms", threshold=1.0, direction="ge")
+
+    def test_bad_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule(name="r", stat="p95_ms", threshold=1.0, breach_windows=0)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule(name="r", stat="p95_ms", threshold=1.0, alpha=0.0)
+
+    def test_lt_direction_breaches_below_threshold(self, store, clock):
+        journal: list = []
+        rule = SloRule(
+            name="hit_rate",
+            stat="cache_hit_rate",
+            threshold=0.5,
+            direction="lt",
+            breach_windows=1,
+            recover_windows=1,
+            alpha=1.0,
+        )
+        watchdog = SloWatchdog(
+            store, [(rule, [RecordingAction("trace", journal)])]
+        )
+        for _ in range(4):
+            store.record_request(0.001, cached=False)
+        clock.advance(1.0)
+        events = watchdog.tick()
+        assert [event.kind for event in events] == ["breach"]
+        assert journal == [("apply", "trace")]

@@ -1,0 +1,101 @@
+"""Scraping a live single-node server's /metrics side port."""
+
+from __future__ import annotations
+
+import time
+import urllib.request
+
+import pytest
+
+from repro.server.client import DkbClient
+from repro.server.service import DkbServer, ServerConfig, WatchdogConfig
+
+
+def scrape(exporter) -> str:
+    host, port = exporter.address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=5.0
+    ) as response:
+        assert response.status == 200
+        return response.read().decode("utf-8")
+
+
+@pytest.fixture
+def metrics_server(dkb_path):
+    """A running server with the exporter and a tiny window width."""
+    config = ServerConfig(
+        path=dkb_path,
+        readers=2,
+        cache_size=32,
+        metrics_port=0,
+        watchdog=WatchdogConfig(
+            window_seconds=0.2, p95_ms=250.0, auto_start=False
+        ),
+    )
+    with DkbServer(config) as server:
+        yield server
+
+
+class TestMetricsEndpoint:
+    def test_scrape_after_traffic(self, metrics_server):
+        host, port = metrics_server.address
+        with DkbClient(host, port) as client:
+            for _ in range(3):
+                client.query("?- ancestor('john', X).")
+        # Seal the open window so the windowed gauges have a value, then
+        # land one more request to trigger the roll.
+        time.sleep(0.25)
+        with DkbClient(host, port) as client:
+            client.query("?- ancestor('john', X).")
+        body = scrape(metrics_server.exporter)
+        assert "# TYPE server_requests_total counter" in body
+        assert "# TYPE server_request_seconds histogram" in body
+        assert 'server_request_seconds_bucket{le="+Inf"}' in body
+        for gauge in (
+            "server_dkb_version",
+            "server_admission_slots",
+            "server_admission_max_waiters",
+            "server_window_throughput",
+            "server_window_p95_ms",
+            "server_window_cache_hit_rate",
+            "server_window_shed_rate",
+            "server_window_version_advance",
+            "server_watchdog_breached",
+        ):
+            assert f"# TYPE {gauge} gauge" in body
+
+    def test_stats_reports_windows_and_metrics_address(self, metrics_server):
+        host, port = metrics_server.address
+        with DkbClient(host, port) as client:
+            client.query("?- ancestor('john', X).")
+            stats = client.stats()["stats"]
+        assert "windows" in stats
+        assert "watchdog" in stats
+        assert list(stats["metrics_address"]) == list(
+            metrics_server.exporter.address
+        )
+
+    def test_exporter_without_watchdog(self, dkb_path):
+        config = ServerConfig(path=dkb_path, readers=1, metrics_port=0)
+        with DkbServer(config) as server:
+            assert server.timeseries is not None
+            assert server.watchdog is None
+            body = scrape(server.exporter)
+        assert "server_dkb_version" in body
+        assert "server_watchdog_breached" not in body
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_default_server_builds_no_live_obs(self, server):
+        # The acceptance bar: a server without metrics_port/watchdog pays
+        # nothing — no store, no exporter thread, no watchdog thread.
+        assert server.timeseries is None
+        assert server.exporter is None
+        assert server.watchdog is None
+        host, port = server.address
+        with DkbClient(host, port) as client:
+            reply = client.query("?- ancestor('john', X).")
+        assert reply["count"] == 5  # mary, bob, sue, tom, ann
+        stats = server.stats()
+        assert "windows" not in stats
+        assert "metrics_address" not in stats
